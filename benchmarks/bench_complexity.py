@@ -1,0 +1,79 @@
+"""Runtime scaling of the majority decomposition (Section III.F).
+
+The paper bounds Algorithm 1 by O(N^4) in the BDD size N but observes
+near-linear behaviour in practice thanks to tight selection
+constraints.  This harness times `decompose_majority` on a family of
+scalable functions (adder carry cones of growing width) and records the
+measured runtime-vs-N series; the aggregate test checks growth stays
+far below the worst-case bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bdd import BDD
+from repro.core import decompose_majority
+
+from conftest import run_once
+
+WIDTHS = [4, 6, 8, 10, 12]
+
+_SERIES: dict[int, tuple[int, float]] = {}
+
+
+def carry_cone(width: int) -> tuple[BDD, int]:
+    """The carry-out of a ``width``-bit adder: a scalable MAJ-rich
+    function whose BDD grows linearly with width."""
+    names = [f"{p}{i}" for i in range(width) for p in ("a", "b")]
+    mgr = BDD(names)
+    carry = mgr.ZERO
+    for i in range(width):
+        a, b = mgr.var(f"a{i}"), mgr.var(f"b{i}")
+        carry = mgr.maj(a, b, carry)
+    return mgr, carry
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_complexity_scaling(benchmark, width):
+    mgr, cone = carry_cone(width)
+    size = mgr.size(cone)
+
+    def run():
+        start = time.perf_counter()
+        result = decompose_majority(mgr, cone)
+        elapsed = time.perf_counter() - start
+        return result, elapsed
+
+    result, elapsed = run_once(benchmark, run)
+    _SERIES[width] = (size, elapsed)
+    benchmark.extra_info.update(bdd_nodes=size, seconds=round(elapsed, 4))
+    assert result is not None  # the carry cone always has m-dominators
+
+
+def test_complexity_far_below_worst_case(benchmark):
+    def collect():
+        for width in WIDTHS:
+            if width not in _SERIES:
+                mgr, cone = carry_cone(width)
+                start = time.perf_counter()
+                decompose_majority(mgr, cone)
+                _SERIES[width] = (mgr.size(cone), time.perf_counter() - start)
+        return dict(_SERIES)
+
+    series = run_once(benchmark, collect)
+    small_n, small_t = series[WIDTHS[0]]
+    large_n, large_t = series[WIDTHS[-1]]
+    ratio_n = large_n / small_n
+    ratio_t = max(large_t, 1e-6) / max(small_t, 1e-6)
+    benchmark.extra_info.update(
+        series={f"N={n}": round(t, 4) for n, t in series.values()},
+        time_growth=round(ratio_t, 2),
+        size_growth=round(ratio_n, 2),
+    )
+    # O(N^4) would give ratio_t ~ ratio_n^4; practice must stay well
+    # below that on this family (paper: "much less than O(N^4)").
+    # The N^3.5 bound leaves headroom for timer noise on small N.
+    assert ratio_t < ratio_n**3.5

@@ -1,0 +1,85 @@
+"""Benches for the extensions: MIG re-expression and mapper comparison.
+
+Neither is a paper table; they quantify the two optional subsystems
+DESIGN.md lists (the MIG future-work extension and the cut-based
+Boolean-matching mapper) on real circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import build_benchmark
+from repro.benchgen.extra import parity_tree
+from repro.core import DecompositionEngine, TreeBuilder
+from repro.flows import BdsFlowConfig
+from repro.mapping import analyze, cut_map_network, map_network
+from repro.mig import network_to_mig, rewrite_depth, trees_to_mig
+from repro.network import partition_with_bdds
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("key", ["alu2", "f51m", "cla64"])
+def test_mig_reexpression(benchmark, key):
+    """BDS-MAJ factoring trees re-expressed as MIGs vs the naive
+    network translation: the decomposition's MAJ discovery should not
+    inflate the majority-node count."""
+    network = build_benchmark(key)
+
+    def run():
+        config = BdsFlowConfig()
+        builder = TreeBuilder()
+        roots = {}
+        for supernode, mgr, root in partition_with_bdds(network, config.partition):
+            engine = DecompositionEngine(mgr, builder, config.engine)
+            roots[supernode.output] = engine.decompose(root)
+        decomposed = trees_to_mig(builder, roots, list(network.inputs))
+        naive = network_to_mig(network)
+        rewritten = rewrite_depth(decomposed, passes=2)
+        return decomposed, naive, rewritten
+
+    decomposed, naive, rewritten = run_once(benchmark, run)
+    benchmark.extra_info.update(
+        mig_from_trees=decomposed.size(),
+        mig_from_trees_depth=decomposed.depth(),
+        mig_naive=naive.size(),
+        mig_naive_depth=naive.depth(),
+        mig_rewritten_depth=rewritten.depth(),
+    )
+    assert rewritten.depth() <= decomposed.depth()
+
+
+@pytest.mark.parametrize("key", ["alu2", "c1355", "add4x16"])
+def test_mapper_comparison(benchmark, key):
+    """Structural mapper (gate hints preserved) vs cut-based Boolean
+    matching (everything re-derived from the AIG)."""
+    network = build_benchmark(key)
+
+    def run():
+        structural = analyze(map_network(network))
+        boolean = analyze(cut_map_network(network))
+        return structural, boolean
+
+    structural, boolean = run_once(benchmark, run)
+    benchmark.extra_info.update(
+        structural_area=round(structural.area, 2),
+        boolean_area=round(boolean.area, 2),
+        structural_delay=round(structural.delay, 3),
+        boolean_delay=round(boolean.delay, 3),
+    )
+    assert structural.gate_count > 0 and boolean.gate_count > 0
+
+
+def test_boolean_matching_recovers_xor(benchmark):
+    """On a parity tree the Boolean matcher must rebuild XOR cells from
+    the raw AIG (no gate hints)."""
+    network = parity_tree(32)
+
+    def run():
+        return cut_map_network(network)
+
+    mapped = run_once(benchmark, run)
+    histogram = mapped.cell_histogram()
+    benchmark.extra_info.update(histogram=histogram)
+    assert histogram.get("xor2", 0) + histogram.get("xnor2", 0) >= 20

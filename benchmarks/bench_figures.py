@@ -1,0 +1,42 @@
+"""Benchmark harness for the figure reproductions.
+
+* Figure 1 — m-dominator identification on the paper's example BDD;
+* Figure 2 — the balancing walkthrough (Sections III.C/D);
+* Figure 3 — the flow stage trace.
+
+These are cheap; they are benchmarked mostly so the figure artifacts
+are regenerated alongside the tables in one ``pytest benchmarks/`` run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure1, figure2, figure3
+
+from conftest import run_once
+
+
+def test_figure1_mdominator(benchmark):
+    result = run_once(benchmark, figure1)
+    benchmark.extra_info.update(
+        dominators=result.num_candidates,
+        dominator_function=result.dominator_function,
+        dot_bytes=len(result.dot),
+    )
+    assert result.num_candidates == 1
+    assert result.dominator_function == "a"  # the paper's highlighted node
+    assert "color=red" in result.dot
+
+
+def test_figure2_balancing(benchmark):
+    result = run_once(benchmark, figure2)
+    benchmark.extra_info.update(steps=len(result.steps))
+    assert any("Maj(a, b, c)" in step for step in result.steps)
+    assert any("True" in step for step in result.steps)
+
+
+def test_figure3_flow_trace(benchmark):
+    result = run_once(benchmark, figure3, "alu2")
+    benchmark.extra_info.update(lines=len(result.lines))
+    text = "\n".join(result.lines)
+    assert "partitioning" in text
+    assert "majority decompositions" in text

@@ -1,0 +1,86 @@
+"""Benchmark harness regenerating Table I (decomposition node counts).
+
+One timed run per (benchmark, tool); the decomposed-network node
+counts — the numbers Table I reports — are attached as extra_info.
+A final aggregate check asserts the paper's qualitative claims: BDS-MAJ
+produces fewer nodes than BDS-PGA on average, with MAJ nodes a modest
+fraction of the total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import BENCHMARKS, build_benchmark
+from repro.flows import BdsFlowConfig, bds_optimize
+
+from conftest import run_once
+
+ALL_KEYS = list(BENCHMARKS)
+
+#: Populated by the per-benchmark runs, summarized by the final test.
+_RESULTS: dict[tuple[str, str], dict[str, int]] = {}
+
+
+def _decompose(network, enable_majority: bool):
+    config = BdsFlowConfig(enable_majority=enable_majority, verify=False)
+    _, counts, _ = bds_optimize(network, config)
+    return counts
+
+
+@pytest.mark.parametrize("key", ALL_KEYS)
+@pytest.mark.parametrize("tool", ["bds-maj", "bds-pga"])
+def bench_table1_decomposition(benchmark, key, tool):
+    network = build_benchmark(key)
+    counts = run_once(benchmark, _decompose, network, tool == "bds-maj")
+    _RESULTS[(key, tool)] = counts
+    benchmark.extra_info.update(
+        benchmark_name=BENCHMARKS[key].display,
+        tool=tool,
+        **counts,
+        total=sum(counts.values()),
+    )
+    if tool == "bds-pga":
+        assert counts["maj"] == 0
+
+
+# pytest-benchmark collects functions named test_* too; use test_ alias
+# so plain `pytest benchmarks/` discovers the harness.
+test_table1_decomposition = bench_table1_decomposition
+
+
+def test_table1_headline_claims(benchmark):
+    """Aggregate shape of Table I (runs the missing circuits if any)."""
+
+    def aggregate():
+        for key in ALL_KEYS:
+            for tool in ("bds-maj", "bds-pga"):
+                if (key, tool) not in _RESULTS:
+                    network = build_benchmark(key)
+                    _RESULTS[(key, tool)] = _decompose(network, tool == "bds-maj")
+        maj_totals = [sum(_RESULTS[(k, "bds-maj")].values()) for k in ALL_KEYS]
+        pga_totals = [sum(_RESULTS[(k, "bds-pga")].values()) for k in ALL_KEYS]
+        maj_nodes = [_RESULTS[(k, "bds-maj")]["maj"] for k in ALL_KEYS]
+        return maj_totals, pga_totals, maj_nodes
+
+    maj_totals, pga_totals, maj_nodes = run_once(benchmark, aggregate)
+    mean_maj = sum(maj_totals) / len(maj_totals)
+    mean_pga = sum(pga_totals) / len(pga_totals)
+    reduction = 1.0 - mean_maj / mean_pga
+    maj_fraction = sum(maj_nodes) / sum(maj_totals)
+    wins = sum(1 for m, p in zip(maj_totals, pga_totals) if m <= p)
+
+    benchmark.extra_info.update(
+        mean_total_bds_maj=round(mean_maj, 1),
+        mean_total_bds_pga=round(mean_pga, 1),
+        node_reduction_pct=round(reduction * 100, 1),
+        paper_node_reduction_pct=29.1,
+        maj_fraction_pct=round(maj_fraction * 100, 1),
+        paper_maj_fraction_pct=9.8,
+        wins=f"{wins}/{len(ALL_KEYS)}",
+    )
+    # Paper shape: a double-digit average reduction, never a regression
+    # on average, MAJ nodes a small-but-real fraction.
+    assert reduction > 0.10, f"expected >10% node reduction, got {reduction:.1%}"
+    assert 0.01 < maj_fraction < 0.5
+    assert wins >= len(ALL_KEYS) * 2 // 3

@@ -1,0 +1,22 @@
+"""Shared helpers for the pytest-benchmark harnesses.
+
+Every benchmark regenerates a paper table or figure (or an ablation).
+Heavy flows run once per benchmark (``pedantic`` with one round) —
+synthesis runtimes are seconds, not microseconds, and the quantity of
+interest is the paper-shape of the quality metrics, which each harness
+attaches to ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,11 @@
+"""Setup shim for environments whose pip requires the legacy build path."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["bdsmaj=repro.experiments.cli:main"]},
+    python_requires=">=3.10",
+)

@@ -1,0 +1,26 @@
+"""And-Inverter Graph substrate: the ABC-like optimization baseline."""
+
+from .aig import Aig
+from .convert import aig_to_network, network_to_aig
+from .cuts import CutSet, cut_truth_table, enumerate_cuts
+from .opt import balance, refactor, resyn2, resyn_quick, rewrite
+from .truth import cover_to_table, full_mask, isop, synthesize_table, var_mask
+
+__all__ = [
+    "Aig",
+    "aig_to_network",
+    "balance",
+    "CutSet",
+    "cover_to_table",
+    "cut_truth_table",
+    "enumerate_cuts",
+    "full_mask",
+    "isop",
+    "network_to_aig",
+    "refactor",
+    "resyn2",
+    "resyn_quick",
+    "rewrite",
+    "synthesize_table",
+    "var_mask",
+]

@@ -1,0 +1,147 @@
+"""Truth-table utilities and ISOP for cut resynthesis.
+
+Truth tables are plain ints: bit ``m`` is the function value on minterm
+``m`` over an ordered leaf list (leaf j = bit j of the minterm index).
+Used by the AIG refactoring passes: collapse a cone to a table, derive
+an irredundant SOP (Minato-Morreale), factor it algebraically and
+rebuild it as AND/INV nodes.
+"""
+
+from __future__ import annotations
+
+from ..sop.algebraic import Cube, Expression, GateEmitter, factor_expression
+
+_VAR_MASKS: dict[tuple[int, int], int] = {}
+
+
+def var_mask(var: int, num_vars: int) -> int:
+    """Truth table of variable ``var`` over ``num_vars`` inputs."""
+    key = (var, num_vars)
+    cached = _VAR_MASKS.get(key)
+    if cached is None:
+        block = (1 << (1 << var)) - 1 if var < num_vars else 0
+        stride = 1 << (var + 1)
+        cached = 0
+        for base in range(0, 1 << num_vars, stride):
+            cached |= block << (base + (1 << var))
+        _VAR_MASKS[key] = cached
+    return cached
+
+
+def full_mask(num_vars: int) -> int:
+    return (1 << (1 << num_vars)) - 1
+
+
+def cofactors(table: int, var: int, num_vars: int) -> tuple[int, int]:
+    """Negative and positive cofactors, both padded back to num_vars."""
+    mask = var_mask(var, num_vars)
+    full = full_mask(num_vars)
+    width = 1 << var
+    positive = table & mask
+    negative = table & ~mask & full
+    positive |= positive >> width
+    negative |= negative << width
+    return negative & full, positive & full
+
+
+def table_depends_on(table: int, var: int, num_vars: int) -> bool:
+    negative, positive = cofactors(table, var, num_vars)
+    return negative != positive
+
+
+def isop(table: int, num_vars: int) -> list[str]:
+    """Irredundant SOP of ``table`` as positional cover rows
+    (Minato-Morreale recursion, no don't-cares)."""
+    full = full_mask(num_vars)
+
+    def recurse(current: int, var: int) -> list[str]:
+        if current == 0:
+            return []
+        if current == full:
+            return ["-" * num_vars]
+        # Find the next variable the function depends on.
+        while var < num_vars:
+            negative, positive = cofactors(current, var, num_vars)
+            if negative != positive:
+                break
+            var += 1
+        else:
+            raise AssertionError("non-constant table with no support")
+        only_negative = recurse(negative & ~positive & full, var + 1)
+        only_positive = recurse(positive & ~negative & full, var + 1)
+        covered_negative = _eval_cover(only_negative, num_vars)
+        covered_positive = _eval_cover(only_positive, num_vars)
+        shared = recurse(
+            (negative & ~covered_negative | positive & ~covered_positive) & full,
+            var + 1,
+        )
+        rows = []
+        for row in only_negative:
+            rows.append(row[:var] + "0" + row[var + 1 :])
+        for row in only_positive:
+            rows.append(row[:var] + "1" + row[var + 1 :])
+        rows.extend(shared)
+        return rows
+
+    return recurse(table & full, 0)
+
+
+def _eval_cover(rows: list[str], num_vars: int) -> int:
+    table = 0
+    full = full_mask(num_vars)
+    for row in rows:
+        cube = full
+        for var, ch in enumerate(row):
+            if ch == "1":
+                cube &= var_mask(var, num_vars)
+            elif ch == "0":
+                cube &= ~var_mask(var, num_vars) & full
+        table |= cube
+    return table
+
+
+def cover_to_table(rows: list[str], num_vars: int) -> int:
+    """Public wrapper of the cover evaluator (used by tests)."""
+    return _eval_cover(rows, num_vars)
+
+
+def synthesize_table(aig, table: int, leaves: list[int], num_vars: int) -> int:
+    """Build an AIG literal computing ``table`` over ``leaves``
+    (existing AIG literals), via ISOP + algebraic factoring.
+
+    Chooses the cheaper polarity (the complement's ISOP is often
+    smaller) and relies on strash for sharing with existing logic.
+    """
+    full = full_mask(num_vars)
+    table &= full
+    if table == 0:
+        return aig.ZERO
+    if table == full:
+        return aig.ONE
+    rows_pos = isop(table, num_vars)
+    rows_neg = isop(table ^ full, num_vars)
+    if _cover_cost(rows_neg) < _cover_cost(rows_pos):
+        return _build_cover(aig, rows_neg, leaves) ^ 1
+    return _build_cover(aig, rows_pos, leaves)
+
+
+def _cover_cost(rows: list[str]) -> tuple[int, int]:
+    return (sum(1 for row in rows for ch in row if ch != "-"), len(rows))
+
+
+def _build_cover(aig, rows: list[str], leaves: list[int]) -> int:
+    expression = Expression(
+        Cube(
+            (var, ch == "1")
+            for var, ch in enumerate(row)
+            if ch != "-"
+        )
+        for row in rows
+    )
+    emitter = GateEmitter(
+        literal=lambda var, phase: leaves[var] ^ (0 if phase else 1),
+        and2=aig.and_,
+        or2=aig.or_,
+        const=lambda value: aig.ONE if value else aig.ZERO,
+    )
+    return factor_expression(expression, emitter)

@@ -1,0 +1,79 @@
+"""Pure-Python ROBDD package (the BDS-MAJ substrate).
+
+Public surface:
+
+* :class:`BDD` — the manager (nodes, ITE, Boolean operators, evaluation);
+* :func:`restrict` / :func:`constrain` — generalized cofactors
+  (Theorem 3.3 seeds);
+* dominator analysis — certified AND/OR/XOR decompositions and the
+  balanced :func:`xor_split` used by the γ optimization phase;
+* :func:`replace_node` / :func:`edge_statistics` — structural rewrites
+  and fan-in counts behind the m-dominator search;
+* :func:`reorder` / :func:`sift` — variable reordering;
+* :func:`to_dot` — Graphviz export (Figure 1).
+"""
+
+from .cofactor import CareSetError, constrain, generalized_cofactor, restrict
+from .dominators import (
+    KIND_AND,
+    KIND_OR,
+    KIND_XOR,
+    DominatorDecomposition,
+    best_simple_decomposition,
+    classify_cut_node,
+    find_simple_decompositions,
+    simple_dominator_nodes,
+    xor_split,
+)
+from .dot import to_dot
+from .manager import BDD, BDDError, TERMINAL_LEVEL, maj3
+from .isop import bdd_isop, isop_cover_rows
+from .quantify import count_paths, exists, forall, iter_cubes
+from .reorder import reorder, sift
+from .substitute import (
+    EdgeStatistics,
+    NodeFanin,
+    PathDominators,
+    cut_nodes,
+    edge_statistics,
+    function_at,
+    path_dominators,
+    replace_node,
+)
+
+__all__ = [
+    "BDD",
+    "BDDError",
+    "CareSetError",
+    "DominatorDecomposition",
+    "EdgeStatistics",
+    "KIND_AND",
+    "KIND_OR",
+    "KIND_XOR",
+    "NodeFanin",
+    "PathDominators",
+    "TERMINAL_LEVEL",
+    "path_dominators",
+    "bdd_isop",
+    "best_simple_decomposition",
+    "classify_cut_node",
+    "constrain",
+    "count_paths",
+    "cut_nodes",
+    "edge_statistics",
+    "exists",
+    "forall",
+    "find_simple_decompositions",
+    "function_at",
+    "isop_cover_rows",
+    "iter_cubes",
+    "generalized_cofactor",
+    "maj3",
+    "reorder",
+    "replace_node",
+    "restrict",
+    "sift",
+    "simple_dominator_nodes",
+    "to_dot",
+    "xor_split",
+]

@@ -1,0 +1,583 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+
+This is the central substrate of the BDS-MAJ reproduction.  The design
+follows the classic Brace/Rudell/Bryant BDD package (DAC 1990, the
+paper's reference [19]):
+
+* nodes live in a shared store and are identified by integer indices;
+* an *edge* (the public handle for a Boolean function) is an integer
+  ``(node_index << 1) | complement_bit``;
+* complement attributes are allowed only on 0-edges (the paper's
+  canonical-form condition (iii) in Section II.B), which makes the
+  representation canonical: two functions are equal iff their edge
+  handles are equal;
+* all operators are implemented on top of a memoized ``ite``.
+
+The terminal node has index 0 and represents constant TRUE; its
+complemented edge represents constant FALSE.
+
+Variables are identified by *level* (position in the global variable
+order, 0 = topmost).  Names are kept in a side table so that networks
+and tests can speak in terms of signal names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Mapping, Sequence
+
+#: Level assigned to the terminal node; deeper than any real variable.
+TERMINAL_LEVEL = 1 << 30
+
+
+class BDDError(Exception):
+    """Raised for invalid BDD operations (unknown variable, bad edge...)."""
+
+
+class BDD:
+    """A reduced ordered BDD manager with complemented 0-edges.
+
+    Typical use::
+
+        mgr = BDD(["a", "b", "c"])
+        a, b, c = (mgr.var(n) for n in "abc")
+        f = mgr.or_(mgr.and_(a, b), mgr.and_(c, mgr.xor(a, b)))
+        mgr.eval(f, {"a": 1, "b": 0, "c": 1})
+
+    Edges returned by this class are plain ``int`` handles; they are only
+    meaningful together with the manager that produced them.
+    """
+
+    #: Edge handle of constant TRUE.
+    ONE = 0
+    #: Edge handle of constant FALSE.
+    ZERO = 1
+
+    def __init__(self, var_names: Iterable[str] = ()) -> None:
+        # Node store (parallel arrays, index = node id).  Node 0 is the
+        # terminal; its high/low entries are never read.
+        self._level: list[int] = [TERMINAL_LEVEL]
+        self._high: list[int] = [0]
+        self._low: list[int] = [0]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._names: list[str] = []
+        self._level_by_name: dict[str, int] = {}
+        for name in var_names:
+            self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> int:
+        """Append variable ``name`` at the bottom of the order; return its level."""
+        if name in self._level_by_name:
+            raise BDDError(f"variable {name!r} already declared")
+        level = len(self._names)
+        self._names.append(name)
+        self._level_by_name[name] = level
+        return level
+
+    @property
+    def var_names(self) -> tuple[str, ...]:
+        """Variable names in order (index = level)."""
+        return tuple(self._names)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    def level_of(self, name: str) -> int:
+        try:
+            return self._level_by_name[name]
+        except KeyError:
+            raise BDDError(f"unknown variable {name!r}") from None
+
+    def name_of(self, level: int) -> str:
+        return self._names[level]
+
+    def var(self, name: str) -> int:
+        """Edge for the positive literal of variable ``name``."""
+        return self.var_at(self.level_of(name))
+
+    def var_at(self, level: int) -> int:
+        """Edge for the positive literal of the variable at ``level``."""
+        if not 0 <= level < len(self._names):
+            raise BDDError(f"no variable at level {level}")
+        return self._mk(level, self.ONE, self.ZERO)
+
+    # ------------------------------------------------------------------
+    # Node level / structure accessors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def node_index(edge: int) -> int:
+        """Node id referenced by ``edge`` (complement bit stripped)."""
+        return edge >> 1
+
+    @staticmethod
+    def is_complemented(edge: int) -> bool:
+        return bool(edge & 1)
+
+    @staticmethod
+    def regular(edge: int) -> int:
+        """``edge`` with the complement attribute cleared."""
+        return edge & ~1
+
+    def is_constant(self, edge: int) -> bool:
+        return edge >> 1 == 0
+
+    def level_of_edge(self, edge: int) -> int:
+        """Level of the node referenced by ``edge`` (terminal = huge)."""
+        return self._level[edge >> 1]
+
+    def top_var_name(self, edge: int) -> str:
+        """Name of the top variable of ``edge`` (must not be constant)."""
+        if self.is_constant(edge):
+            raise BDDError("constant edge has no top variable")
+        return self._names[self._level[edge >> 1]]
+
+    def node_fields(self, index: int) -> tuple[int, int, int]:
+        """``(level, high_edge, low_edge)`` of node ``index``."""
+        return self._level[index], self._high[index], self._low[index]
+
+    def num_nodes(self) -> int:
+        """Total nodes ever created in this manager (incl. terminal)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # Core construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, high: int, low: int) -> int:
+        """Find-or-create the node ``(level, high, low)`` keeping the
+        canonical form: no redundant node, high edge always regular."""
+        if high == low:
+            return high
+        negated = high & 1
+        if negated:
+            high ^= 1
+            low ^= 1
+        key = (level, high, low)
+        index = self._unique.get(key)
+        if index is None:
+            index = len(self._level)
+            self._level.append(level)
+            self._high.append(high)
+            self._low.append(low)
+            self._unique[key] = index
+        edge = index << 1
+        return edge ^ 1 if negated else edge
+
+    def _cofactors(self, edge: int, level: int) -> tuple[int, int]:
+        """Shannon cofactors of ``edge`` w.r.t. the variable at ``level``.
+
+        ``level`` must be <= the edge's top level; if the edge does not
+        depend on that variable both cofactors are the edge itself.
+        """
+        index = edge >> 1
+        if self._level[index] != level:
+            return edge, edge
+        high = self._high[index]
+        low = self._low[index]
+        if edge & 1:
+            return high ^ 1, low ^ 1
+        return high, low
+
+    # ------------------------------------------------------------------
+    # ITE and derived operators
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g + f'·h`` (the universal BDD operator)."""
+        # Terminal and identity simplifications (Brace/Rudell/Bryant).
+        if f == self.ONE:
+            return g
+        if f == self.ZERO:
+            return h
+        if g == h:
+            return g
+        if g == f:
+            g = self.ONE
+        elif g == f ^ 1:
+            g = self.ZERO
+        if h == f:
+            h = self.ZERO
+        elif h == f ^ 1:
+            h = self.ONE
+        if g == self.ONE and h == self.ZERO:
+            return f
+        if g == self.ZERO and h == self.ONE:
+            return f ^ 1
+        if g == h:
+            return g
+        # Canonicalize: predicate regular, then then-branch regular.
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        negate_out = False
+        if g & 1:
+            g ^= 1
+            h ^= 1
+            negate_out = True
+        key = (f, g, h)
+        result = self._ite_cache.get(key)
+        if result is None:
+            levels = self._level
+            top = min(levels[f >> 1], levels[g >> 1], levels[h >> 1])
+            f1, f0 = self._cofactors(f, top)
+            g1, g0 = self._cofactors(g, top)
+            h1, h0 = self._cofactors(h, top)
+            then_edge = self.ite(f1, g1, h1)
+            else_edge = self.ite(f0, g0, h0)
+            result = self._mk(top, then_edge, else_edge)
+            self._ite_cache[key] = result
+        return result ^ 1 if negate_out else result
+
+    def not_(self, f: int) -> int:
+        """Complement (free with complemented edges)."""
+        return f ^ 1
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.ZERO)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, self.ONE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        return self.ite(f, g ^ 1, g)
+
+    def xnor(self, f: int, g: int) -> int:
+        return self.ite(f, g, g ^ 1)
+
+    def nand(self, f: int, g: int) -> int:
+        return self.and_(f, g) ^ 1
+
+    def nor(self, f: int, g: int) -> int:
+        return self.or_(f, g) ^ 1
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.ONE)
+
+    def maj(self, a: int, b: int, c: int) -> int:
+        """Three-input majority ``ab + ac + bc`` — the paper's MAJ operator."""
+        return self.ite(a, self.or_(b, c), self.and_(b, c))
+
+    def and_many(self, edges: Iterable[int]) -> int:
+        result = self.ONE
+        for edge in edges:
+            result = self.and_(result, edge)
+        return result
+
+    def or_many(self, edges: Iterable[int]) -> int:
+        result = self.ZERO
+        for edge in edges:
+            result = self.or_(result, edge)
+        return result
+
+    def xor_many(self, edges: Iterable[int]) -> int:
+        result = self.ZERO
+        for edge in edges:
+            result = self.xor(result, edge)
+        return result
+
+    # ------------------------------------------------------------------
+    # Cofactors w.r.t. arbitrary variables
+    # ------------------------------------------------------------------
+    def cofactor(self, edge: int, level: int, value: bool) -> int:
+        """Cofactor of ``edge`` w.r.t. the variable at ``level`` set to ``value``.
+
+        Unlike :meth:`_cofactors` this works for variables anywhere in
+        the order, rebuilding the BDD above ``level``.
+        """
+        cache: dict[int, int] = {}
+
+        def walk(e: int) -> int:
+            index = e >> 1
+            node_level = self._level[index]
+            if node_level > level:
+                return e
+            complement = e & 1
+            regular_e = e ^ complement
+            cached = cache.get(regular_e)
+            if cached is None:
+                high, low = self._high[index], self._low[index]
+                if node_level == level:
+                    cached = high if value else low
+                else:
+                    cached = self._mk(node_level, walk(high), walk(low))
+                cache[regular_e] = cached
+            return cached ^ complement
+
+        return walk(edge)
+
+    def compose(self, f: int, level: int, g: int) -> int:
+        """Substitute function ``g`` for the variable at ``level`` in ``f``."""
+        high = self.cofactor(f, level, True)
+        low = self.cofactor(f, level, False)
+        return self.ite(g, high, low)
+
+    # ------------------------------------------------------------------
+    # Evaluation and inspection
+    # ------------------------------------------------------------------
+    def eval(self, edge: int, assignment: Mapping[str, object]) -> bool:
+        """Evaluate ``edge`` under ``assignment`` (name -> truthy value)."""
+        complement = edge & 1
+        index = edge >> 1
+        while index != 0:
+            name = self._names[self._level[index]]
+            try:
+                value = assignment[name]
+            except KeyError:
+                raise BDDError(f"assignment missing variable {name!r}") from None
+            edge = self._high[index] if value else self._low[index]
+            complement ^= edge & 1
+            index = edge >> 1
+        return not complement
+
+    def eval_levels(self, edge: int, values: Sequence[int]) -> bool:
+        """Evaluate ``edge``; ``values[level]`` gives each variable's value."""
+        complement = edge & 1
+        index = edge >> 1
+        while index != 0:
+            edge = self._high[index] if values[self._level[index]] else self._low[index]
+            complement ^= edge & 1
+            index = edge >> 1
+        return not complement
+
+    def size(self, edge: int) -> int:
+        """Number of internal nodes reachable from ``edge`` (0 for constants)."""
+        return self.size_many([edge])
+
+    def size_many(self, edges: Iterable[int]) -> int:
+        """Internal nodes reachable from any edge in ``edges`` (shared once)."""
+        seen: set[int] = set()
+        stack = [e >> 1 for e in edges]
+        while stack:
+            index = stack.pop()
+            if index == 0 or index in seen:
+                continue
+            seen.add(index)
+            stack.append(self._high[index] >> 1)
+            stack.append(self._low[index] >> 1)
+        return len(seen)
+
+    def support_levels(self, edge: int) -> set[int]:
+        """Set of variable levels ``edge`` depends on."""
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [edge >> 1]
+        while stack:
+            index = stack.pop()
+            if index == 0 or index in seen:
+                continue
+            seen.add(index)
+            levels.add(self._level[index])
+            stack.append(self._high[index] >> 1)
+            stack.append(self._low[index] >> 1)
+        return levels
+
+    def support(self, edge: int) -> set[str]:
+        """Set of variable names ``edge`` depends on."""
+        return {self._names[level] for level in self.support_levels(edge)}
+
+    def nodes_reachable(self, edges: Iterable[int]) -> list[int]:
+        """Internal node ids reachable from ``edges`` in topological order
+        (parents before children)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(index: int) -> None:
+            if index == 0 or index in seen:
+                return
+            seen.add(index)
+            order.append(index)
+            visit(self._high[index] >> 1)
+            visit(self._low[index] >> 1)
+
+        roots = [e >> 1 for e in edges]
+        for root in roots:
+            visit(root)
+        return order
+
+    def count_sat(self, edge: int, num_vars: int | None = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables
+        (default: all declared variables)."""
+        if num_vars is None:
+            num_vars = len(self._names)
+        cache: dict[int, int] = {}
+
+        def node_level(index: int) -> int:
+            return min(self._level[index], num_vars)
+
+        def count_node(index: int) -> int:
+            """Satisfying count of node ``index`` (regular polarity) over
+            the variables at levels ``[level(index), num_vars)``."""
+            if index == 0:
+                return 1
+            cached = cache.get(index)
+            if cached is not None:
+                return cached
+            level = self._level[index]
+            result = 0
+            for child in (self._high[index], self._low[index]):
+                child_index = child >> 1
+                child_level = node_level(child_index)
+                child_count = count_node(child_index)
+                if child & 1:
+                    child_count = (1 << (num_vars - child_level)) - child_count
+                result += child_count << (child_level - level - 1)
+            cache[index] = result
+            return result
+
+        index = edge >> 1
+        level = node_level(index)
+        sat = count_node(index)
+        if edge & 1:
+            sat = (1 << (num_vars - level)) - sat
+        return sat << level
+
+    def pick_assignment(self, edge: int) -> dict[str, bool] | None:
+        """One satisfying assignment of ``edge`` or ``None`` if unsat.
+
+        Variables not on the chosen path are omitted (don't-cares).
+        """
+        if edge == self.ZERO:
+            return None
+        assignment: dict[str, bool] = {}
+        complement = edge & 1
+        index = edge >> 1
+        while index != 0:
+            name = self._names[self._level[index]]
+            high, low = self._high[index], self._low[index]
+            # Follow a branch that can still reach TRUE (i.e. is not the
+            # constant FALSE once parity is folded in).
+            high_value = high ^ complement
+            if high_value != self.ZERO:
+                assignment[name] = True
+                edge = high
+            else:
+                assignment[name] = False
+                edge = low
+            complement ^= edge & 1
+            index = edge >> 1
+        return assignment
+
+    def truth_table(self, edge: int, names: Sequence[str] | None = None) -> int:
+        """Truth table of ``edge`` as an int bitmask.
+
+        Bit ``i`` holds the function value when the j-th name in
+        ``names`` takes bit j of i (LSB-first).  Only intended for small
+        supports (<= 20 variables).
+        """
+        if names is None:
+            names = sorted(self.support(edge), key=self.level_of)
+        num = len(names)
+        if num > 20:
+            raise BDDError("truth_table limited to 20 variables")
+        table = 0
+        assignment: dict[str, bool] = {}
+        for row in range(1 << num):
+            for j, name in enumerate(names):
+                assignment[name] = bool(row >> j & 1)
+            if self.eval(edge, assignment):
+                table |= 1 << row
+        return table
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def cube(self, literals: Mapping[str, object]) -> int:
+        """Conjunction of literals: name -> phase (truthy = positive)."""
+        result = self.ONE
+        for name, phase in literals.items():
+            literal = self.var(name)
+            result = self.and_(result, literal if phase else literal ^ 1)
+        return result
+
+    def from_truth_table(self, table: int, names: Sequence[str]) -> int:
+        """Build the function whose truth table (LSB-first over ``names``)
+        is the bitmask ``table``."""
+        minterms = []
+        for row in range(1 << len(names)):
+            if table >> row & 1:
+                minterms.append(
+                    self.cube({name: bool(row >> j & 1) for j, name in enumerate(names)})
+                )
+        return self.or_many(minterms)
+
+    def from_expr(self, text: str) -> int:
+        """Build a function from a Python-syntax Boolean expression.
+
+        Supported operators: ``&`` (AND), ``|`` (OR), ``^`` (XOR),
+        ``~`` (NOT), integer constants 0/1, and declared variable names.
+        Undeclared names are added to the order on first use.
+        """
+        tree = ast.parse(text, mode="eval")
+
+        def build(node: ast.AST) -> int:
+            if isinstance(node, ast.Expression):
+                return build(node.body)
+            if isinstance(node, ast.BinOp):
+                left = build(node.left)
+                right = build(node.right)
+                if isinstance(node.op, ast.BitAnd):
+                    return self.and_(left, right)
+                if isinstance(node.op, ast.BitOr):
+                    return self.or_(left, right)
+                if isinstance(node.op, ast.BitXor):
+                    return self.xor(left, right)
+                raise BDDError(f"unsupported operator {node.op!r}")
+            if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Invert):
+                return build(node.operand) ^ 1
+            if isinstance(node, ast.Name):
+                if node.id not in self._level_by_name:
+                    self.add_var(node.id)
+                return self.var(node.id)
+            if isinstance(node, ast.Constant):
+                if node.value in (0, False):
+                    return self.ZERO
+                if node.value in (1, True):
+                    return self.ONE
+            raise BDDError(f"unsupported expression element {node!r}")
+
+        return build(tree)
+
+    # ------------------------------------------------------------------
+    # Transfer / iteration helpers
+    # ------------------------------------------------------------------
+    def transfer(self, edge: int, target: "BDD") -> int:
+        """Rebuild ``edge`` inside ``target``.
+
+        The target manager may use a different variable order; missing
+        variables are declared on demand.  Cost grows with the size of
+        the *result*, which can exceed the source size when the orders
+        differ substantially.
+        """
+        for name in self.support(edge):
+            if name not in target._level_by_name:
+                target.add_var(name)
+
+        cache: dict[int, int] = {}
+
+        def walk(e: int) -> int:
+            complement = e & 1
+            index = e >> 1
+            if index == 0:
+                return target.ONE ^ complement
+            cached = cache.get(index)
+            if cached is None:
+                name = self._names[self._level[index]]
+                high = walk(self._high[index])
+                low = walk(self._low[index])
+                cached = target.ite(target.var(name), high, low)
+                cache[index] = cached
+            return cached ^ complement
+
+        return walk(edge)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BDD vars={len(self._names)} nodes={len(self._level)}>"
+
+
+def maj3(values: Sequence[object]) -> bool:
+    """Python-level 3-input majority, used by tests and evaluators."""
+    a, b, c = (bool(v) for v in values)
+    return (a and b) or (a and c) or (b and c)

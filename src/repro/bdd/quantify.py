@@ -1,0 +1,77 @@
+"""Quantification and cube enumeration on BDDs.
+
+Not required by Algorithm 1 itself, but standard equipment of a BDD
+package this size: the restrict operator already quantifies internally,
+verification scripts want ``exists``/``forall``, and cube enumeration
+backs debugging and don't-care analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .manager import BDD
+
+
+def exists(mgr: BDD, f: int, names: Iterable[str]) -> int:
+    """Existential quantification: OR of cofactors over ``names``."""
+    levels = sorted((mgr.level_of(name) for name in names), reverse=True)
+    result = f
+    for level in levels:
+        high = mgr.cofactor(result, level, True)
+        low = mgr.cofactor(result, level, False)
+        result = mgr.or_(high, low)
+    return result
+
+
+def forall(mgr: BDD, f: int, names: Iterable[str]) -> int:
+    """Universal quantification: AND of cofactors over ``names``."""
+    return exists(mgr, f ^ 1, names) ^ 1
+
+
+def iter_cubes(mgr: BDD, f: int) -> Iterator[dict[str, bool]]:
+    """Enumerate the satisfying cubes of ``f`` (one per BDD path whose
+    complement parity evaluates to TRUE).  Variables skipped by a path
+    are absent from the cube (don't-cares)."""
+    # Depth-first over (edge, assignment-so-far); BDD depth is bounded
+    # by the variable count, so recursion is safe here.
+    def walk(edge: int, cube: dict[str, bool]) -> Iterator[dict[str, bool]]:
+        if edge == mgr.ONE:
+            yield dict(cube)
+            return
+        if edge == mgr.ZERO:
+            return
+        index = edge >> 1
+        level, high, low = mgr.node_fields(index)
+        complement = edge & 1
+        name = mgr.name_of(level)
+        cube[name] = True
+        yield from walk(high ^ complement, cube)
+        cube[name] = False
+        yield from walk(low ^ complement, cube)
+        del cube[name]
+
+    yield from walk(f, {})
+
+
+def count_paths(mgr: BDD, f: int) -> int:
+    """Number of TRUE paths (cubes) of ``f`` — a cover-size proxy used
+    by tests and diagnostics."""
+    cache: dict[int, int] = {}
+
+    def walk(edge: int) -> int:
+        if edge == mgr.ONE:
+            return 1
+        if edge == mgr.ZERO:
+            return 0
+        cached = cache.get(edge)
+        if cached is not None:
+            return cached
+        index = edge >> 1
+        _, high, low = mgr.node_fields(index)
+        complement = edge & 1
+        result = walk(high ^ complement) + walk(low ^ complement)
+        cache[edge] = result
+        return result
+
+    return walk(f)

@@ -1,0 +1,47 @@
+"""Benchmark circuit generators for the paper's Tables I and II."""
+
+from .arithmetic import (
+    array_multiplier,
+    carry_lookahead_adder,
+    four_operand_adder,
+    multiply_accumulate,
+    reciprocal,
+    restoring_divider,
+    ripple_carry_adder,
+    square_root,
+    wallace_multiplier,
+)
+from .ecc import hamming_corrector
+from .random_logic import (
+    key_mixing_network,
+    random_control_network,
+    random_pla_network,
+)
+from .registry import (
+    BENCHMARKS,
+    Benchmark,
+    benchmark_keys,
+    build_benchmark,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "array_multiplier",
+    "benchmark_keys",
+    "build_benchmark",
+    "carry_lookahead_adder",
+    "four_operand_adder",
+    "get_benchmark",
+    "hamming_corrector",
+    "key_mixing_network",
+    "multiply_accumulate",
+    "random_control_network",
+    "random_pla_network",
+    "reciprocal",
+    "restoring_divider",
+    "ripple_carry_adder",
+    "square_root",
+    "wallace_multiplier",
+]

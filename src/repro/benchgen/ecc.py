@@ -1,0 +1,112 @@
+"""Error-correcting-code circuit: the functional stand-in for C1355.
+
+MCNC/ISCAS C1355 (41 PIs, 32 POs) is a 32-bit single-error-correcting
+circuit built almost entirely from XOR trees.  The original netlist is
+not redistributable, so this generator builds a Hamming SEC-DED
+corrector with the same interface flavour and the same XOR-dominated
+structure:
+
+* inputs: 32 received data bits, 6 Hamming check bits, 1 overall
+  parity bit, 2 enables (41 total, as in C1355);
+* outputs: the 32 corrected data bits.
+
+Correction: the syndrome (XOR trees over code positions) addresses the
+erroneous bit; a bit flips when the syndrome matches its position, the
+overall parity disagrees (single-error signature) and both enables are
+set.
+"""
+
+from __future__ import annotations
+
+from ..network import LogicNetwork
+
+#: Number of data bits; check bits cover positions 1..39.
+DATA_BITS = 32
+CHECK_BITS = 6
+
+
+def _code_positions() -> list[int]:
+    """Codeword positions (1-based) of the data bits: all positions in
+    1..39 that are not powers of two, in increasing order."""
+    positions = []
+    position = 1
+    while len(positions) < DATA_BITS:
+        if position & (position - 1):  # not a power of two
+            positions.append(position)
+        position += 1
+    return positions
+
+
+def hamming_corrector(name: str = "ecc32") -> LogicNetwork:
+    """Build the 32-bit Hamming SEC-DED corrector (C1355 stand-in)."""
+    net = LogicNetwork(name)
+    data = [net.add_input(f"d{i}") for i in range(DATA_BITS)]
+    checks = [net.add_input(f"c{j}") for j in range(CHECK_BITS)]
+    parity = net.add_input("p")
+    enable_a = net.add_input("en_a")
+    enable_b = net.add_input("en_b")
+
+    positions = _code_positions()
+
+    # Syndrome bit j: XOR of the check bit and every data bit whose
+    # position has bit j set (balanced XOR trees).
+    syndrome: list[str] = []
+    for j in range(CHECK_BITS):
+        members = [checks[j]] + [
+            data[i] for i, position in enumerate(positions) if position >> j & 1
+        ]
+        syndrome.append(_xor_tree(net, f"syn{j}", members))
+
+    # Overall parity across everything (SEC-DED double-error guard).
+    overall = _xor_tree(net, "overall", data + checks + [parity])
+
+    enable = net.add_and("enable", enable_a, enable_b)
+    correcting = net.add_and("correcting", enable, overall)
+
+    for i, position in enumerate(positions):
+        match_literals = []
+        for j in range(CHECK_BITS):
+            if position >> j & 1:
+                match_literals.append(syndrome[j])
+            else:
+                match_literals.append(net.add_not(f"syn{j}_n_{i}", syndrome[j]))
+        match = _and_tree(net, f"match{i}", match_literals)
+        flip = net.add_and(f"flip{i}", match, correcting)
+        net.add_xor(f"o{i}", data[i], flip)
+        net.add_output(f"o{i}")
+    net.sweep_dangling()
+    return net
+
+
+def _xor_tree(net: LogicNetwork, name: str, members: list[str]) -> str:
+    """Balanced XOR tree over ``members`` named ``name``."""
+    level = list(members)
+    stage = 0
+    while len(level) > 1:
+        next_level = []
+        for k in range(0, len(level) - 1, 2):
+            next_level.append(
+                net.add_xor(f"{name}_x{stage}_{k // 2}", level[k], level[k + 1])
+            )
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+        stage += 1
+    result = level[0]
+    return net.add_buf(name, result)
+
+
+def _and_tree(net: LogicNetwork, name: str, members: list[str]) -> str:
+    level = list(members)
+    stage = 0
+    while len(level) > 1:
+        next_level = []
+        for k in range(0, len(level) - 1, 2):
+            next_level.append(
+                net.add_and(f"{name}_a{stage}_{k // 2}", level[k], level[k + 1])
+            )
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+        stage += 1
+    return level[0]

@@ -1,0 +1,186 @@
+"""Seeded random network generators for MCNC control-logic stand-ins.
+
+Several MCNC circuits used in Table I/II (apex6, vda, misex3, seq,
+bigkey) are random-control or PLA-style benchmarks whose original
+netlists are not redistributable.  Their role in the paper is to
+represent AND/OR-intensive logic, so the stand-ins generated here match
+that character (and the published PI/PO counts) rather than the exact
+functions — all four synthesis flows see identical inputs, which is
+what the comparison requires.
+
+Two generators:
+
+* :func:`random_control_network` — layered random gate DAGs
+  (AND/OR-biased with a sprinkle of XOR/MUX, like apex6);
+* :func:`random_pla_network` — shared random product terms ORed into
+  outputs (like vda / misex3 / seq, which are PLA benchmarks).
+
+Both are fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..network import LogicNetwork
+
+
+def random_control_network(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_nodes: int,
+    seed: int,
+    xor_fraction: float = 0.08,
+) -> LogicNetwork:
+    """A layered random gate DAG with AND/OR-dominated node functions."""
+    rng = random.Random(seed)
+    net = LogicNetwork(name)
+    inputs = [net.add_input(f"x{i}") for i in range(num_inputs)]
+    pool: list[str] = list(inputs)
+
+    def pick_fanin(exclude: str | None = None) -> str:
+        # Prefer recent signals to build depth; occasionally reach back.
+        while True:
+            if rng.random() < 0.35:
+                candidate = rng.choice(pool)
+            else:
+                window = pool[-min(len(pool), 48) :]
+                candidate = rng.choice(window)
+            if candidate != exclude:
+                return candidate
+
+    gate_choices = ("and", "or", "nand", "nor", "andnot", "ornot")
+
+    def add_gate(index: int, left: str, right: str) -> str:
+        node_name = f"n{index}"
+        roll = rng.random()
+        if roll < xor_fraction:
+            return net.add_xor(node_name, left, right)
+        gate = rng.choice(gate_choices)
+        if gate == "and":
+            return net.add_and(node_name, left, right)
+        if gate == "or":
+            return net.add_or(node_name, left, right)
+        if gate == "nand":
+            return net.add_nand(node_name, left, right)
+        if gate == "nor":
+            return net.add_nor(node_name, left, right)
+        if gate == "andnot":
+            return net.add_node(node_name, (left, right), ("10",))
+        return net.add_node(node_name, (left, right), ("1-", "-0"))  # ornot
+
+    created = 0
+    # First wave guarantees every input lands in some node's support.
+    for i in range(0, num_inputs, 2):
+        left = inputs[i]
+        right = inputs[i + 1] if i + 1 < num_inputs else pick_fanin(exclude=left)
+        pool.append(add_gate(created, left, right))
+        created += 1
+    while created < num_nodes:
+        left = pick_fanin()
+        right = pick_fanin(exclude=left)
+        pool.append(add_gate(created, left, right))
+        created += 1
+
+    candidates = [s for s in pool if s not in set(inputs)]
+    tail = candidates[-max(num_outputs * 2, num_outputs) :]
+    rng.shuffle(tail)
+    for position, signal in enumerate(tail[:num_outputs]):
+        net.add_buf(f"y{position}", signal)
+        net.add_output(f"y{position}")
+    net.sweep_dangling()
+    return net
+
+
+def random_pla_network(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_terms: int,
+    seed: int,
+    literals_per_term: tuple[int, int] = (3, 6),
+    terms_per_output: tuple[int, int] = (4, 10),
+) -> LogicNetwork:
+    """A PLA-style network: shared product terms feeding output ORs."""
+    rng = random.Random(seed)
+    net = LogicNetwork(name)
+    inputs = [net.add_input(f"x{i}") for i in range(num_inputs)]
+
+    terms: list[str] = []
+    for t in range(num_terms):
+        k = rng.randint(*literals_per_term)
+        k = min(k, num_inputs)
+        chosen = rng.sample(range(num_inputs), k)
+        row = ["-"] * num_inputs
+        for position in chosen:
+            row[position] = "1" if rng.random() < 0.5 else "0"
+        # Single-cube node (one PLA AND-plane row) over its literals.
+        compact_fanins = [inputs[i] for i in chosen]
+        compact_row = "".join(row[i] for i in chosen)
+        terms.append(net.add_node(f"t{t}", compact_fanins, (compact_row,)))
+
+    for o in range(num_outputs):
+        count = rng.randint(*terms_per_output)
+        chosen_terms = rng.sample(terms, min(count, len(terms)))
+        net.add_or(f"y{o}", *chosen_terms)
+        net.add_output(f"y{o}")
+    net.sweep_dangling()
+    return net
+
+
+def key_mixing_network(
+    name: str,
+    data_bits: int = 64,
+    key_bits: int = 64,
+    rounds: int = 4,
+    seed: int = 2013,
+) -> LogicNetwork:
+    """A crypto-style key-mixing network (bigkey stand-in): alternating
+    key-XOR layers, random 4-input S-box nodes and bit permutations."""
+    rng = random.Random(seed)
+    net = LogicNetwork(name)
+    data = [net.add_input(f"d{i}") for i in range(data_bits)]
+    key = [net.add_input(f"k{i}") for i in range(key_bits)]
+
+    state = list(data)
+    for round_index in range(rounds):
+        # Key mixing: XOR each state bit with a (rotated) key bit.
+        mixed = []
+        for i, signal in enumerate(state):
+            key_bit = key[(i + 13 * round_index) % key_bits]
+            mixed.append(net.add_xor(f"r{round_index}_mix{i}", signal, key_bit))
+        # Substitution: disjoint groups of 4 bits through random S-boxes.
+        substituted: list[str] = []
+        for group in range(0, data_bits, 4):
+            nibble = mixed[group : group + 4]
+            for bit_position in range(len(nibble)):
+                rows = _random_sbox_rows(rng, len(nibble))
+                substituted.append(
+                    net.add_node(
+                        f"r{round_index}_sbox{group + bit_position}",
+                        tuple(nibble),
+                        rows,
+                    )
+                )
+        # Permutation: deterministic shuffle per round.
+        permutation = list(range(len(substituted)))
+        rng.shuffle(permutation)
+        state = [substituted[p] for p in permutation]
+
+    for i, signal in enumerate(state):
+        net.add_buf(f"y{i}", signal)
+        net.add_output(f"y{i}")
+    net.sweep_dangling()
+    return net
+
+
+def _random_sbox_rows(rng: random.Random, width: int) -> tuple[str, ...]:
+    """A random non-trivial ON-set over ``width`` inputs (SOP rows)."""
+    num_rows = rng.randint(2, 4)
+    rows = set()
+    while len(rows) < num_rows:
+        row = "".join(rng.choice("01-") for _ in range(width))
+        if row != "-" * width:
+            rows.add(row)
+    return tuple(sorted(rows))

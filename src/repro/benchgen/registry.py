@@ -1,0 +1,111 @@
+"""Benchmark registry: the 17 circuits of Tables I and II by name.
+
+Keys are lowercase identifiers; ``display`` carries the paper's label.
+``category`` distinguishes the MCNC rows from the custom HDL rows so
+harnesses can reproduce the table sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..network import LogicNetwork
+from . import arithmetic, mcnc
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    key: str
+    display: str
+    category: str  # "mcnc" | "hdl"
+    description: str
+    build: Callable[[], LogicNetwork]
+
+
+def _benchmarks() -> list[Benchmark]:
+    return [
+        Benchmark("alu2", "alu2", "mcnc", "3-bit 8-operation ALU", mcnc.alu2),
+        Benchmark("c6288", "C6288", "mcnc", "16x16 array multiplier", mcnc.c6288),
+        Benchmark("c1355", "C1355", "mcnc", "32-bit SEC circuit", mcnc.c1355),
+        Benchmark("dalu", "dalu", "mcnc", "dedicated 16-bit ALU", mcnc.dalu),
+        Benchmark("apex6", "apex6", "mcnc", "random control logic", mcnc.apex6),
+        Benchmark("vda", "vda", "mcnc", "PLA-style control", mcnc.vda),
+        Benchmark("f51m", "f51m", "mcnc", "8-bit arithmetic block", mcnc.f51m),
+        Benchmark("misex3", "misex3", "mcnc", "PLA-style control", mcnc.misex3),
+        Benchmark("seq", "seq", "mcnc", "large PLA-style control", mcnc.seq),
+        Benchmark("bigkey", "bigkey", "mcnc", "key-mixing network", mcnc.bigkey),
+        Benchmark(
+            "sqrt32",
+            "SQRT 32 bit",
+            "hdl",
+            "32-bit restoring square root",
+            lambda: arithmetic.square_root(32, name="sqrt32"),
+        ),
+        Benchmark(
+            "wallace16",
+            "Wallace 16 bit",
+            "hdl",
+            "16x16 Wallace-tree multiplier",
+            lambda: arithmetic.wallace_multiplier(16, name="wallace16"),
+        ),
+        Benchmark(
+            "cla64",
+            "CLA 64 bit",
+            "hdl",
+            "64-bit carry-lookahead adder",
+            lambda: arithmetic.carry_lookahead_adder(64, name="cla64"),
+        ),
+        Benchmark(
+            "rev19",
+            "Rev (1/X) 19 bit",
+            "hdl",
+            "19-bit reciprocal (restoring division array)",
+            lambda: arithmetic.reciprocal(19, name="rev19"),
+        ),
+        Benchmark(
+            "div18",
+            "Div 18 bit",
+            "hdl",
+            "18-bit restoring divider",
+            lambda: arithmetic.restoring_divider(18, name="div18"),
+        ),
+        Benchmark(
+            "mac16",
+            "MAC 16 bit",
+            "hdl",
+            "16-bit multiply-accumulate",
+            lambda: arithmetic.multiply_accumulate(16, name="mac16"),
+        ),
+        Benchmark(
+            "add4x16",
+            "4-Op ADD 16 bit",
+            "hdl",
+            "four-operand 16-bit adder",
+            lambda: arithmetic.four_operand_adder(16, name="add4x16"),
+        ),
+    ]
+
+
+BENCHMARKS: dict[str, Benchmark] = {b.key: b for b in _benchmarks()}
+
+
+def benchmark_keys(category: str | None = None) -> list[str]:
+    """All registry keys, optionally filtered by category, in the
+    paper's table order."""
+    return [
+        b.key for b in BENCHMARKS.values() if category is None or b.category == category
+    ]
+
+
+def get_benchmark(key: str) -> Benchmark:
+    try:
+        return BENCHMARKS[key]
+    except KeyError:
+        known = ", ".join(BENCHMARKS)
+        raise KeyError(f"unknown benchmark {key!r} (known: {known})") from None
+
+
+def build_benchmark(key: str) -> LogicNetwork:
+    """Instantiate a benchmark circuit by key."""
+    return get_benchmark(key).build()

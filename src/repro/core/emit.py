@@ -1,0 +1,97 @@
+"""Emit factoring trees as a gate-level :class:`LogicNetwork`.
+
+The decomposition engine produces interned trees whose leaves are
+global signal names (supernode boundaries).  This module materializes
+them as a network: each distinct tree node becomes one gate node, so
+the cross-supernode sharing detected by interning carries through to
+the netlist (paper Section IV.C).
+"""
+
+from __future__ import annotations
+
+from ..network import LogicNetwork
+from .tree import TreeBuilder
+
+
+def network_from_trees(
+    builder: TreeBuilder,
+    roots: dict[str, int],
+    inputs: list[str],
+    outputs: list[str],
+    name: str = "decomposed",
+) -> LogicNetwork:
+    """Build a network computing ``roots`` (signal name -> tree id).
+
+    Every signal in ``roots`` materializes as a node of that name (tree
+    leaves reference these names, as do the primary ``outputs``).  Trees
+    shared by several signals are emitted once plus buffer aliases.
+    """
+    network = LogicNetwork(name)
+    for input_name in inputs:
+        network.add_input(input_name)
+
+    # Preferred name of each tree id: the first root signal using it.
+    name_of_tree: dict[int, str] = {}
+    for signal, tree_id in roots.items():
+        name_of_tree.setdefault(tree_id, signal)
+
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        candidate = f"w{counter[0]}"
+        while network.has_signal(candidate) or candidate in roots:
+            counter[0] += 1
+            candidate = f"w{counter[0]}"
+        return candidate
+
+    emitted: dict[int, str] = {}
+
+    def emit(tree_id: int) -> str:
+        existing = emitted.get(tree_id)
+        if existing is not None:
+            return existing
+        op = builder.op(tree_id)
+        children = builder.children(tree_id)
+        if op == "lit":
+            signal = builder.literal_name(tree_id)
+            emitted[tree_id] = signal
+            return signal
+        node_name = name_of_tree.get(tree_id)
+        if node_name is None or network.has_signal(node_name):
+            node_name = fresh()
+        if op == "const0":
+            network.add_const(node_name, False)
+        elif op == "const1":
+            network.add_const(node_name, True)
+        elif op == "not":
+            network.add_not(node_name, emit(children[0]))
+        elif op == "and":
+            network.add_and(node_name, emit(children[0]), emit(children[1]))
+        elif op == "or":
+            network.add_or(node_name, emit(children[0]), emit(children[1]))
+        elif op == "xor":
+            network.add_xor(node_name, emit(children[0]), emit(children[1]))
+        elif op == "xnor":
+            network.add_xnor(node_name, emit(children[0]), emit(children[1]))
+        elif op == "maj":
+            network.add_maj(
+                node_name, emit(children[0]), emit(children[1]), emit(children[2])
+            )
+        else:  # pragma: no cover - builder produces no other ops
+            raise ValueError(f"unexpected tree op {op!r}")
+        emitted[tree_id] = node_name
+        return node_name
+
+    for tree_id in roots.values():
+        emit(tree_id)
+    # Alias roots whose tree was emitted under another signal's name
+    # (shared trees) or resolves to a leaf/input.
+    for signal, tree_id in roots.items():
+        if not network.has_signal(signal):
+            network.add_buf(signal, emitted[tree_id])
+
+    for output_name in outputs:
+        network.add_output(output_name)
+    network.sweep_dangling()
+    return network

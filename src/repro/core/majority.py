@@ -1,0 +1,231 @@
+"""Majority logic decomposition — Algorithm 1 of BDS-MAJ.
+
+Given a function ``F``, find ``F = Maj(Fa, Fb, Fc)``:
+
+α.  candidate ``Fa`` functions are rooted at non-trivial m-dominators
+    (:mod:`repro.core.mdominators`);
+β.  ``Fb`` and ``Fc`` are constructed per Theorem 3.2 with the
+    Theorem 3.3 generalized-cofactor seeds::
+
+        Fb = ITE(Fa ⊕ F, F, F|Fa)
+        Fc = ITE(Fa ⊕ F, F, F|Fa')
+
+γ.  the triple is improved by *cyclic balancing* (Theorem 3.4): for a
+    pair (X, Y), ``Fx = X ⊕ Y`` is XOR-decomposed into balanced (M, K)
+    and the pair is restructured as ``Xopt = ITE(Fx, K, X)``,
+    ``Yopt = ITE(Fx, M, Y)`` — on inputs where X ≠ Y only the third
+    function matters, so the pair may be freely rewritten there as long
+    as it keeps disagreeing;
+ω.  the best triple across all candidates is selected with the
+    sum-of-sizes metric refined by the k-balance condition
+    (Section III.E; local k = 1.5).
+
+Every constructed triple is certified: ``Maj(Fa,Fb,Fc) == F`` is a
+canonical BDD equality check, performed after construction and after
+every balancing iteration (disable via ``MajorityConfig.verify`` for
+speed once trust is established — the test suite always verifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bdd import BDD
+from ..bdd.cofactor import generalized_cofactor
+from ..bdd.dominators import xor_split
+from ..bdd.substitute import function_at
+from .mdominators import MDominatorConfig, find_m_dominators
+
+
+class MajorityDecompositionError(Exception):
+    """Raised when a constructed triple fails the Maj == F certification."""
+
+
+@dataclass
+class MajorityConfig:
+    """Tunables of Algorithm 1 with the paper's defaults."""
+
+    #: Sizing factor of the local selection metric (Section IV.B).
+    local_k: float = 1.5
+    #: Maximum cyclic-optimization iterations (Section IV.B sets 5).
+    max_balance_iterations: int = 5
+    #: Generalized cofactor used for the Theorem 3.3 seeds.
+    cofactor_method: str = "restrict"
+    #: Certify Maj(Fa,Fb,Fc) == F after every construction step.
+    verify: bool = True
+    #: m-dominator selection constraints (α-phase).
+    mdominator: MDominatorConfig = field(default_factory=MDominatorConfig)
+
+
+@dataclass
+class MajorityDecomposition:
+    """A certified decomposition ``F = Maj(fa, fb, fc)`` (edges in ``mgr``)."""
+
+    fa: int
+    fb: int
+    fc: int
+    dominator_node: int = -1
+
+    def parts(self) -> tuple[int, int, int]:
+        return self.fa, self.fb, self.fc
+
+    def sizes(self, mgr: BDD) -> tuple[int, int, int]:
+        return mgr.size(self.fa), mgr.size(self.fb), mgr.size(self.fc)
+
+    def total_size(self, mgr: BDD) -> int:
+        return sum(self.sizes(mgr))
+
+
+# ----------------------------------------------------------------------
+# β-phase: construction (Theorems 3.2 / 3.3)
+# ----------------------------------------------------------------------
+def construct(mgr: BDD, f: int, fa: int, config: MajorityConfig | None = None) -> MajorityDecomposition:
+    """Build ``Fb``/``Fc`` for a given ``Fa`` candidate (Equation 1 + 3)."""
+    if config is None:
+        config = MajorityConfig()
+    if mgr.is_constant(fa):
+        raise MajorityDecompositionError("Fa must not be constant")
+    disagreement = mgr.xor(fa, f)
+    seed_h = generalized_cofactor(mgr, f, fa, config.cofactor_method)
+    seed_w = generalized_cofactor(mgr, f, fa ^ 1, config.cofactor_method)
+    fb = mgr.ite(disagreement, f, seed_h)
+    fc = mgr.ite(disagreement, f, seed_w)
+    decomposition = MajorityDecomposition(fa, fb, fc)
+    if config.verify:
+        certify(mgr, f, decomposition)
+    return decomposition
+
+
+def certify(mgr: BDD, f: int, decomposition: MajorityDecomposition) -> None:
+    """Raise unless ``Maj(Fa, Fb, Fc) == F`` (canonical equality)."""
+    rebuilt = mgr.maj(*decomposition.parts())
+    if rebuilt != f:
+        raise MajorityDecompositionError(
+            "majority decomposition does not reproduce F "
+            f"(sizes {decomposition.sizes(mgr)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# γ-phase: cyclic balancing (Theorem 3.4)
+# ----------------------------------------------------------------------
+def balance_pair(mgr: BDD, x: int, y: int) -> tuple[int, int]:
+    """Restructure the pair (X, Y) of a majority triple.
+
+    ``Fx = X ⊕ Y`` is split into (M, K) with ``M ⊕ K = Fx`` (Equation 5)
+    and the pair becomes ``ITE(Fx, K, X)``, ``ITE(Fx, M, Y)``
+    (Equation 4): untouched where X == Y, rebalanced where they differ.
+    """
+    fx = mgr.xor(x, y)
+    if fx == mgr.ZERO:
+        return x, y
+    m, k = xor_split(mgr, fx)
+    x_new = mgr.ite(fx, k, x)
+    y_new = mgr.ite(fx, m, y)
+    return x_new, y_new
+
+
+def optimize(
+    mgr: BDD, f: int, decomposition: MajorityDecomposition, config: MajorityConfig | None = None
+) -> MajorityDecomposition:
+    """Iterate balancing over all pairs until no improvement or the
+    iteration limit is reached; return the best certified triple seen."""
+    if config is None:
+        config = MajorityConfig()
+    best = decomposition
+    best_size = best.total_size(mgr)
+    current = decomposition
+    for _ in range(config.max_balance_iterations):
+        fa, fb, fc = current.parts()
+        # All pairs, in the order of Algorithm 1's inner loop.
+        fb, fc = balance_pair(mgr, fb, fc)
+        fa, fb = balance_pair(mgr, fa, fb)
+        fa, fc = balance_pair(mgr, fa, fc)
+        current = MajorityDecomposition(fa, fb, fc, current.dominator_node)
+        if config.verify:
+            certify(mgr, f, current)
+        current_size = current.total_size(mgr)
+        if current_size < best_size:
+            best, best_size = current, current_size
+        else:
+            break  # no improvement this iteration
+    return best
+
+
+# ----------------------------------------------------------------------
+# ω-phase: selection (Section III.E)
+# ----------------------------------------------------------------------
+def is_better(
+    mgr: BDD,
+    candidate: MajorityDecomposition,
+    incumbent: MajorityDecomposition,
+    k: float = 1.5,
+) -> bool:
+    """Local selection metric.
+
+    The k-balance condition — every component of one triple being k
+    times smaller than the other's — acts as a dominance certificate;
+    otherwise the sum of sizes decides, with the largest component as
+    tie-break (favouring balanced triples).
+    """
+    cand = candidate.sizes(mgr)
+    inc = incumbent.sizes(mgr)
+    if all(k * c <= i for c, i in zip(cand, inc)):
+        return True
+    if all(k * i <= c for c, i in zip(cand, inc)):
+        return False
+    if sum(cand) != sum(inc):
+        return sum(cand) < sum(inc)
+    return max(cand) < max(inc)
+
+
+def accepts_globally(
+    mgr: BDD, f: int, decomposition: MajorityDecomposition, k: float = 1.6
+) -> bool:
+    """Global selection metric (Section IV.B): compare against the size
+    of the original BDD with sizing factor k = 1.6.
+
+    Requires the summed size to beat the original *and* every component
+    to be k times smaller — the latter also guarantees structural
+    progress, hence termination of the recursive engine.
+    """
+    original = mgr.size(f)
+    sizes = decomposition.sizes(mgr)
+    if sum(sizes) >= original:
+        return False
+    return all(k * s <= original for s in sizes)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1, assembled
+# ----------------------------------------------------------------------
+def decompose_majority(
+    mgr: BDD,
+    f: int,
+    config: MajorityConfig | None = None,
+    simple_dominators: set[int] | None = None,
+) -> MajorityDecomposition | None:
+    """Run Algorithm 1 on ``f``; return the best certified triple or
+    ``None`` when no m-dominator candidate exists.
+
+    The caller decides acceptance (e.g. via :func:`accepts_globally`)
+    — Algorithm 1 itself only ranks the candidates it found.
+    ``simple_dominators`` is forwarded to the α-phase search.
+    """
+    if config is None:
+        config = MajorityConfig()
+    if mgr.is_constant(f):
+        return None
+
+    best: MajorityDecomposition | None = None
+    for candidate in find_m_dominators(mgr, f, config.mdominator, simple_dominators):
+        fa = function_at(mgr, candidate.node)
+        try:
+            decomposition = construct(mgr, f, fa, config)
+        except MajorityDecompositionError:
+            raise  # construction is proven correct; surface any violation
+        decomposition.dominator_node = candidate.node
+        decomposition = optimize(mgr, f, decomposition, config)
+        if best is None or is_better(mgr, decomposition, best, config.local_k):
+            best = decomposition
+    return best

@@ -1,0 +1,23 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .figures import figure1, figure2, figure3
+from .paper_data import PAPER_HEADLINES, PAPER_TABLE1, PAPER_TABLE2
+from .table1 import Table1Entry, format_table1, run_table1, summarize_table1
+from .table2 import Table2Entry, format_table2, run_table2, summarize_table2
+
+__all__ = [
+    "PAPER_HEADLINES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "Table1Entry",
+    "Table2Entry",
+    "figure1",
+    "figure2",
+    "figure3",
+    "format_table1",
+    "format_table2",
+    "run_table1",
+    "run_table2",
+    "summarize_table1",
+    "summarize_table2",
+]

@@ -1,0 +1,128 @@
+"""Command-line interface: ``bdsmaj <command>``.
+
+Commands mirror the paper's experiments:
+
+* ``table1`` — decomposition node counts (BDS-MAJ vs BDS-PGA);
+* ``table2`` — mapped area/gates/delay for all four flows;
+* ``fig1`` / ``fig2`` / ``fig3`` — figure reproductions;
+* ``synth`` — run one flow on one benchmark (or a BLIF file);
+* ``list`` — available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..benchgen import BENCHMARKS, build_benchmark
+from ..flows import FLOWS
+from ..network import read_blif, to_blif
+from .figures import figure1, figure2, figure3
+from .table1 import format_table1, run_table1
+from .table2 import format_table2, run_table2
+
+
+def _parse_keys(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    keys = [key.strip() for key in text.split(",") if key.strip()]
+    unknown = [key for key in keys if key not in BENCHMARKS]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
+    return keys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bdsmaj",
+        description="BDS-MAJ reproduction (Amaru et al., DAC 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="regenerate Table I")
+    t1.add_argument("--benchmarks", help="comma-separated registry keys")
+    t1.add_argument("--verify", action="store_true", help="equivalence-check outputs")
+    t1.add_argument("--no-paper", action="store_true", help="omit paper rows")
+
+    t2 = sub.add_parser("table2", help="regenerate Table II")
+    t2.add_argument("--benchmarks", help="comma-separated registry keys")
+    t2.add_argument("--quick", action="store_true", help="short ABC script")
+    t2.add_argument("--no-verify", action="store_true")
+    t2.add_argument("--no-paper", action="store_true")
+
+    sub.add_parser("fig1", help="Figure 1: m-dominator BDD (dot output)")
+    sub.add_parser("fig2", help="Figure 2: balancing walkthrough")
+    f3 = sub.add_parser("fig3", help="Figure 3: flow stage trace")
+    f3.add_argument("--benchmark", default="alu2")
+
+    synth = sub.add_parser("synth", help="run one flow on one circuit")
+    synth.add_argument("circuit", help="benchmark key or path to a BLIF file")
+    synth.add_argument("--flow", default="bds-maj", choices=sorted(FLOWS))
+    synth.add_argument("--blif-out", help="write the optimized network as BLIF")
+
+    sub.add_parser("list", help="list available benchmarks")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        entries = run_table1(
+            _parse_keys(args.benchmarks), verify=args.verify, progress=_progress
+        )
+        print(format_table1(entries, include_paper=not args.no_paper))
+    elif args.command == "table2":
+        entries = run_table2(
+            _parse_keys(args.benchmarks),
+            quick=args.quick,
+            verify=not args.no_verify,
+            progress=_progress,
+        )
+        print(format_table2(entries, include_paper=not args.no_paper))
+    elif args.command == "fig1":
+        result = figure1()
+        print(result.dot)
+        print(
+            f"// non-trivial m-dominators: {result.num_candidates} "
+            f"(Fa = {result.dominator_function})",
+        )
+    elif args.command == "fig2":
+        for step in figure2().steps:
+            print(step)
+    elif args.command == "fig3":
+        result = figure3(args.benchmark)
+        print(f"BDS-MAJ flow trace on {result.benchmark}:")
+        for line in result.lines:
+            print(line)
+    elif args.command == "synth":
+        if args.circuit in BENCHMARKS:
+            network = build_benchmark(args.circuit)
+        else:
+            with open(args.circuit) as stream:
+                network = read_blif(stream)
+        result = FLOWS[args.flow](network)
+        area, gates, delay = result.table2_row()
+        print(f"flow      : {result.flow}")
+        print(f"benchmark : {result.benchmark}")
+        if result.node_counts:
+            print(f"nodes     : {result.node_counts} (total {result.total_nodes})")
+        print(f"area      : {area} um^2")
+        print(f"gates     : {gates}")
+        print(f"delay     : {delay} ns")
+        print(f"optimized : {result.optimize_seconds:.2f} s")
+        if result.equivalence is not None:
+            print(f"verified  : {result.equivalence.method}")
+        if args.blif_out:
+            with open(args.blif_out, "w") as stream:
+                stream.write(to_blif(result.optimized))
+            print(f"wrote     : {args.blif_out}")
+    elif args.command == "list":
+        for key, benchmark in BENCHMARKS.items():
+            print(f"{key:12s} {benchmark.display:18s} [{benchmark.category}] {benchmark.description}")
+    return 0
+
+
+def _progress(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""The paper's published numbers (Tables I and II), transcribed.
+
+Used by the harnesses to print paper-vs-measured comparisons in
+EXPERIMENTS.md format.  Benchmarks are keyed like the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    and_: int
+    or_: int
+    xor: int
+    xnor: int
+    maj: int
+    total: int
+    runtime: float
+
+
+#: Table I: decomposition results, BDS-MAJ and BDS-PGA.
+PAPER_TABLE1: dict[str, dict[str, PaperTable1Row]] = {
+    "alu2": {
+        "bds-maj": PaperTable1Row(45, 99, 4, 10, 13, 171, 0.9),
+        "bds-pga": PaperTable1Row(71, 129, 7, 13, 0, 220, 0.4),
+    },
+    "c6288": {
+        "bds-maj": PaperTable1Row(369, 378, 66, 320, 139, 1272, 0.6),
+        "bds-pga": PaperTable1Row(711, 764, 65, 355, 0, 1895, 0.6),
+    },
+    "c1355": {
+        "bds-maj": PaperTable1Row(14, 44, 14, 80, 31, 183, 0.1),
+        "bds-pga": PaperTable1Row(46, 26, 46, 66, 0, 184, 0.3),
+    },
+    "dalu": {
+        "bds-maj": PaperTable1Row(126, 408, 80, 21, 133, 768, 1.4),
+        "bds-pga": PaperTable1Row(463, 895, 25, 62, 0, 1445, 2.3),
+    },
+    "apex6": {
+        "bds-maj": PaperTable1Row(253, 289, 9, 10, 16, 577, 0.4),
+        "bds-pga": PaperTable1Row(243, 437, 7, 7, 0, 694, 0.3),
+    },
+    "vda": {
+        "bds-maj": PaperTable1Row(65, 203, 0, 0, 22, 290, 0.2),
+        "bds-pga": PaperTable1Row(24, 392, 0, 0, 0, 416, 0.3),
+    },
+    "f51m": {
+        "bds-maj": PaperTable1Row(18, 24, 1, 10, 4, 57, 0.1),
+        "bds-pga": PaperTable1Row(26, 41, 1, 7, 0, 75, 0.1),
+    },
+    "misex3": {
+        "bds-maj": PaperTable1Row(337, 704, 0, 1, 21, 1063, 1.0),
+        "bds-pga": PaperTable1Row(377, 860, 2, 2, 0, 1241, 0.9),
+    },
+    "seq": {
+        "bds-maj": PaperTable1Row(331, 1175, 0, 0, 55, 1561, 6.7),
+        "bds-pga": PaperTable1Row(1159, 1471, 1, 2, 0, 2633, 5.6),
+    },
+    "bigkey": {
+        "bds-maj": PaperTable1Row(400, 1494, 64, 87, 194, 2239, 2.8),
+        "bds-pga": PaperTable1Row(1058, 1834, 4, 31, 0, 2927, 4.0),
+    },
+    "sqrt32": {
+        "bds-maj": PaperTable1Row(162, 289, 60, 158, 142, 811, 0.5),
+        "bds-pga": PaperTable1Row(254, 471, 74, 132, 0, 931, 0.4),
+    },
+    "wallace16": {
+        "bds-maj": PaperTable1Row(208, 189, 178, 302, 158, 1035, 0.6),
+        "bds-pga": PaperTable1Row(491, 785, 169, 259, 0, 1704, 0.4),
+    },
+    "cla64": {
+        "bds-maj": PaperTable1Row(179, 208, 41, 53, 167, 648, 0.1),
+        "bds-pga": PaperTable1Row(320, 481, 35, 47, 0, 883, 0.2),
+    },
+    "rev19": {
+        "bds-maj": PaperTable1Row(1223, 2109, 401, 1265, 599, 5597, 13.4),
+        "bds-pga": PaperTable1Row(2263, 4199, 383, 1121, 0, 7966, 11.2),
+    },
+    "div18": {
+        "bds-maj": PaperTable1Row(705, 1598, 255, 422, 188, 3168, 7.1),
+        "bds-pga": PaperTable1Row(1290, 2918, 136, 308, 0, 4652, 6.4),
+    },
+    "mac16": {
+        "bds-maj": PaperTable1Row(322, 487, 177, 541, 160, 1687, 0.5),
+        "bds-pga": PaperTable1Row(532, 891, 187, 365, 0, 1975, 1.4),
+    },
+    "add4x16": {
+        "bds-maj": PaperTable1Row(30, 32, 10, 86, 52, 210, 0.1),
+        "bds-pga": PaperTable1Row(87, 89, 9, 85, 0, 270, 0.1),
+    },
+}
+
+#: Table II: (area um^2, gate count, delay ns) per flow.
+PAPER_TABLE2: dict[str, dict[str, tuple[float, int, float]]] = {
+    "alu2": {
+        "bds-maj": (34.16, 238, 0.34),
+        "bds-pga": (40.81, 295, 0.40),
+        "abc": (66.50, 503, 0.41),
+        "dc": (50.54, 373, 0.57),
+    },
+    "c6288": {
+        "bds-maj": (348.78, 1422, 0.98),
+        "bds-pga": (360.78, 1441, 1.11),
+        "abc": (355.18, 1350, 1.08),
+        "dc": (355.11, 1453, 1.26),
+    },
+    "c1355": {
+        "bds-maj": (55.23, 188, 0.30),
+        "bds-pga": (56.42, 200, 0.33),
+        "abc": (60.69, 213, 0.29),
+        "dc": (55.44, 190, 0.31),
+    },
+    "dalu": {
+        "bds-maj": (111.30, 825, 0.40),
+        "bds-pga": (244.09, 1731, 0.47),
+        "abc": (171.36, 1292, 0.44),
+        "dc": (103.74, 743, 0.41),
+    },
+    "apex6": {
+        "bds-maj": (94.85, 811, 0.25),
+        "bds-pga": (106.40, 813, 0.30),
+        "abc": (100.73, 733, 0.26),
+        "dc": (96.04, 745, 0.31),
+    },
+    "vda": {
+        "bds-maj": (71.26, 567, 0.24),
+        "bds-pga": (114.24, 893, 0.20),
+        "abc": (133.56, 1035, 0.20),
+        "dc": (70.98, 564, 0.25),
+    },
+    "f51m": {
+        "bds-maj": (13.23, 78, 0.15),
+        "bds-pga": (13.86, 88, 0.19),
+        "abc": (26.18, 199, 0.17),
+        "dc": (17.85, 135, 0.22),
+    },
+    "misex3": {
+        "bds-maj": (186.90, 1440, 0.30),
+        "bds-pga": (236.25, 1825, 0.28),
+        "abc": (225.12, 1753, 0.28),
+        "dc": (185.01, 1424, 0.36),
+    },
+    "seq": {
+        "bds-maj": (266.35, 2086, 0.33),
+        "bds-pga": (541.17, 4167, 0.27),
+        "abc": (488.32, 3678, 0.26),
+        "dc": (304.15, 2325, 0.30),
+    },
+    "bigkey": {
+        "bds-maj": (428.29, 3512, 0.24),
+        "bds-pga": (528.22, 4121, 0.30),
+        "abc": (713.79, 5692, 0.22),
+        "dc": (434.49, 3526, 0.22),
+    },
+    "sqrt32": {
+        "bds-maj": (205.22, 920, 3.22),
+        "bds-pga": (236.81, 1029, 4.17),
+        "abc": (226.31, 1058, 3.66),
+        "dc": (211.40, 990, 3.44),
+    },
+    "wallace16": {
+        "bds-maj": (291.89, 1455, 0.65),
+        "bds-pga": (385.49, 1995, 0.88),
+        "abc": (413.56, 2118, 0.77),
+        "dc": (319.41, 1541, 0.69),
+    },
+    "cla64": {
+        "bds-maj": (145.32, 1455, 0.65),
+        "bds-pga": (170.17, 1160, 1.08),
+        "abc": (181.44, 1126, 0.76),
+        "dc": (161.07, 1114, 0.67),
+    },
+    "rev19": {
+        "bds-maj": (1044.26, 5339, 3.09),
+        "bds-pga": (1506.96, 7425, 4.56),
+        "abc": (1545.67, 8175, 4.26),
+        "dc": (1160.60, 5432, 3.14),
+    },
+    "div18": {
+        "bds-maj": (702.03, 4255, 8.54),
+        "bds-pga": (957.53, 6403, 10.24),
+        "abc": (931.35, 6302, 9.52),
+        "dc": (734.02, 4948, 9.22),
+    },
+    "mac16": {
+        "bds-maj": (365.22, 1492, 0.67),
+        "bds-pga": (449.33, 2150, 0.95),
+        "abc": (491.12, 2560, 0.72),
+        "dc": (383.67, 1431, 0.70),
+    },
+    "add4x16": {
+        "bds-maj": (59.93, 171, 0.40),
+        "bds-pga": (65.17, 221, 0.51),
+        "abc": (86.18, 391, 0.50),
+        "dc": (63.63, 201, 0.44),
+    },
+}
+
+#: Headline averages the paper reports in the abstract / Section V.
+PAPER_HEADLINES = {
+    "table1_node_reduction": 0.291,
+    "table1_maj_fraction": 0.098,
+    "table1_runtime_overhead": 0.046,
+    "table2_area_vs_abc": 0.288,
+    "table2_area_vs_bds": 0.264,
+    "table2_area_vs_dc": 0.060,
+    "table2_delay_vs_abc": 0.128,
+    "table2_delay_vs_bds": 0.209,
+    "table2_delay_vs_dc": 0.078,
+}

@@ -1,0 +1,31 @@
+"""The four synthesis flows compared in the paper's Section V."""
+
+from .abc import AbcFlowConfig, abc_flow
+from .bds import BdsFlowConfig, BdsTrace, bds_optimize, bdsmaj_flow, bdspga_flow
+from .common import FlowResult, Stopwatch, finish_flow
+from .dc import DcFlowConfig, dc_flow, dc_optimize
+
+#: Flow registry in the paper's Table II column order.
+FLOWS = {
+    "bds-maj": bdsmaj_flow,
+    "bds-pga": bdspga_flow,
+    "abc": abc_flow,
+    "dc": dc_flow,
+}
+
+__all__ = [
+    "FLOWS",
+    "AbcFlowConfig",
+    "BdsFlowConfig",
+    "BdsTrace",
+    "DcFlowConfig",
+    "FlowResult",
+    "Stopwatch",
+    "abc_flow",
+    "bds_optimize",
+    "bdsmaj_flow",
+    "bdspga_flow",
+    "dc_flow",
+    "dc_optimize",
+    "finish_flow",
+]

@@ -1,0 +1,84 @@
+"""Shared flow infrastructure: result records and verification."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..mapping import MappedCircuit, TimingReport, analyze, map_network
+from ..mapping.library import CellLibrary
+from ..network import EquivalenceResult, LogicNetwork, check_equivalence
+
+
+@dataclass
+class FlowResult:
+    """Everything a flow produces for one benchmark.
+
+    ``node_counts`` holds the Table-I style decomposed-network node
+    counts (AND/OR/XOR/XNOR/MAJ) where the flow defines them (the two
+    BDD flows); ``optimize_seconds`` is the logic-optimization runtime
+    the paper reports in Table I.
+    """
+
+    flow: str
+    benchmark: str
+    optimized: LogicNetwork
+    mapped: MappedCircuit
+    timing: TimingReport
+    optimize_seconds: float
+    node_counts: dict[str, int] = field(default_factory=dict)
+    equivalence: EquivalenceResult | None = None
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.node_counts.values())
+
+    def table2_row(self) -> tuple[float, int, float]:
+        """(area um^2, gate count, delay ns) as in Table II."""
+        return self.timing.row()
+
+
+def finish_flow(
+    flow_name: str,
+    source: LogicNetwork,
+    optimized: LogicNetwork,
+    optimize_seconds: float,
+    node_counts: dict[str, int] | None = None,
+    library: CellLibrary | None = None,
+    verify: bool = True,
+) -> FlowResult:
+    """Common tail of every flow: map, time, verify."""
+    mapped = map_network(optimized, library)
+    timing = analyze(mapped)
+    equivalence = None
+    if verify:
+        equivalence = check_equivalence(source, optimized)
+        if equivalence.equivalent:
+            equivalence = check_equivalence(source, mapped.network)
+        if not equivalence.equivalent:
+            raise AssertionError(
+                f"{flow_name} broke {source.name}: counterexample "
+                f"{equivalence.counterexample}"
+            )
+    return FlowResult(
+        flow=flow_name,
+        benchmark=source.name,
+        optimized=optimized,
+        mapped=mapped,
+        timing=timing,
+        optimize_seconds=optimize_seconds,
+        node_counts=node_counts or {},
+        equivalence=equivalence,
+    )
+
+
+class Stopwatch:
+    """Tiny context helper for the optimization timers."""
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

@@ -1,0 +1,250 @@
+"""Cut-based Boolean-matching technology mapper.
+
+A second mapper (the default one in :mod:`repro.mapping.mapper` is
+structural): the subject network is strashed into an AIG, k-feasible
+cuts are enumerated, each cut's truth table is Boolean-matched against
+the library cells (all input permutations, input phases and output
+phases — inverters priced in), and a cover is selected greedily by
+*area flow* — the classic DAG-mapping recipe of ABC-style mappers.
+
+It is intentionally opt-in: the paper's story has the *standard* mapper
+hiding MAJ structure, and indeed this mapper only discovers MAJ3 cells
+when a cut function happens to be a majority — without BDS-MAJ's
+decomposition that opportunity rarely survives strashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from ..aig import Aig, enumerate_cuts, network_to_aig
+from ..aig.cuts import cut_truth_table
+from ..network import LogicNetwork
+from .library import Cell, CellLibrary, cmos22_library
+from .mapper import MappedCircuit, MappingError
+
+#: Cell function -> truth table over its declared inputs (LSB-first).
+_CELL_TABLES = {
+    "inv": 0b01,
+    "nand2": 0b0111,
+    "nor2": 0b0001,
+    "xor2": 0b0110,
+    "xnor2": 0b1001,
+    "maj3": 0b11101000,
+}
+
+
+@dataclass(frozen=True)
+class _Match:
+    """One way to realize a truth table: ``cell`` with leaf ``i`` (cut
+    order) feeding pin ``pin_of[i]``, with per-leaf input inversion and
+    optional output inversion."""
+
+    cell: Cell
+    pin_of: tuple[int, ...]
+    input_inverted: tuple[bool, ...]
+    output_inverted: bool
+    extra_inverters: int
+
+
+def _permute_phase_table(
+    table: int, pin_of: tuple[int, ...], phases: tuple[bool, ...], arity: int
+) -> int:
+    """Truth table over cut leaves when leaf i (possibly inverted)
+    drives cell pin ``pin_of[i]``."""
+    size = 1 << arity
+    out = 0
+    for minterm in range(size):
+        pin_minterm = 0
+        for leaf in range(arity):
+            value = minterm >> leaf & 1
+            if phases[leaf]:
+                value ^= 1
+            if value:
+                pin_minterm |= 1 << pin_of[leaf]
+        if table >> pin_minterm & 1:
+            out |= 1 << minterm
+    return out
+
+
+def _build_match_tables(library: CellLibrary) -> dict[int, dict[int, _Match]]:
+    """arity -> (cut truth table -> cheapest match)."""
+    inv_area = library.cell("inv").area if library.has("inv") else 0.0
+    result: dict[int, dict[int, _Match]] = {}
+    for function, table in _CELL_TABLES.items():
+        if not library.has(function):
+            continue
+        cell = library.cell(function)
+        arity = cell.num_inputs
+        bucket = result.setdefault(arity, {})
+        for pin_of in permutations(range(arity)):
+            for phase_mask in range(1 << arity):
+                phases = tuple(bool(phase_mask >> i & 1) for i in range(arity))
+                realized = _permute_phase_table(table, pin_of, phases, arity)
+                for output_inverted in (False, True):
+                    final = realized
+                    if output_inverted:
+                        final ^= (1 << (1 << arity)) - 1
+                    inverters = sum(phases) + output_inverted
+                    match = _Match(cell, pin_of, phases, output_inverted, inverters)
+                    existing = bucket.get(final)
+                    if existing is None or _match_cost(match, inv_area) < _match_cost(
+                        existing, inv_area
+                    ):
+                        bucket[final] = match
+    return result
+
+
+def _match_cost(match: _Match, inv_area: float) -> float:
+    return match.cell.area + inv_area * match.extra_inverters
+
+
+def cut_map_network(
+    network: LogicNetwork, library: CellLibrary | None = None, k: int = 3
+) -> MappedCircuit:
+    """Map ``network`` by AIG cut enumeration + Boolean matching."""
+    if library is None:
+        library = cmos22_library()
+    for required in ("inv", "nand2"):
+        if not library.has(required):
+            raise MappingError(f"cut mapper requires an {required!r} cell")
+    match_tables = _build_match_tables(library)
+    inv_cell = library.cell("inv")
+
+    aig = network_to_aig(network).cleanup()
+    cuts = enumerate_cuts(aig, k=k, max_cuts_per_node=8)
+    refs = aig.reference_counts()
+
+    # ------------------------------------------------------------------
+    # Phase 1: choose the best (cut, match) per node by area flow.
+    # ------------------------------------------------------------------
+    area_flow: dict[int, float] = {0: 0.0}
+    for name in aig.inputs:
+        area_flow[aig.input_literal(name) >> 1] = 0.0
+    chosen: dict[int, tuple[tuple[int, ...], _Match]] = {}
+
+    for node in aig.reachable_ands():
+        best_cost = None
+        best = None
+        for cut in cuts.get(node, ()):
+            if cut == (node,):
+                continue
+            bucket = match_tables.get(len(cut))
+            if not bucket:
+                continue
+            match = bucket.get(cut_truth_table(aig, node, cut))
+            if match is None:
+                continue
+            flow = _match_cost(match, inv_cell.area)
+            for leaf in cut:
+                flow += area_flow.get(leaf, 0.0) / max(refs.get(leaf, 1), 1)
+            if best_cost is None or flow < best_cost:
+                best_cost = flow
+                best = (cut, match)
+        if best is None:
+            raise MappingError(
+                f"no library match for node {node} (the direct 2-cut "
+                "should always match — library too small?)"
+            )
+        chosen[node] = best
+        area_flow[node] = best_cost
+
+    # ------------------------------------------------------------------
+    # Phase 2: cover from the outputs, materialize cells.
+    # ------------------------------------------------------------------
+    mapped = LogicNetwork(f"{network.name}_cutmapped")
+    for name in aig.inputs:
+        mapped.add_input(name)
+    cell_of: dict[str, Cell] = {}
+    signal_of: dict[int, str] = {}
+    inverter_of: dict[str, str] = {}
+    counter = [0]
+    output_names = {name for name, _ in aig.outputs}
+    pi_signal = {aig.input_literal(n) >> 1: n for n in aig.inputs}
+
+    covers = {
+        "inv": (("0",), False),
+        "nand2": (("11",), True),
+        "nor2": (("1-", "-1"), True),
+        "xor2": (("10", "01"), False),
+        "xnor2": (("11", "00"), False),
+        "maj3": (("11-", "1-1", "-11"), False),
+    }
+
+    def fresh(stem: str) -> str:
+        counter[0] += 1
+        candidate = f"{stem}{counter[0]}"
+        while mapped.has_signal(candidate) or candidate in output_names:
+            counter[0] += 1
+            candidate = f"{stem}{counter[0]}"
+        return candidate
+
+    constant_nodes: dict[bool, str] = {}
+
+    def constant_signal(value: bool) -> str:
+        cached = constant_nodes.get(value)
+        if cached is None:
+            cached = mapped.add_const(fresh("tie"), value)
+            cell_of[cached] = library.cell("tie1" if value else "tie0")
+            constant_nodes[value] = cached
+        return cached
+
+    def inverted_signal(base: str) -> str:
+        cached = inverter_of.get(base)
+        if cached is None:
+            cached = mapped.add_not(fresh("inv"), base)
+            cell_of[cached] = inv_cell
+            inverter_of[base] = cached
+        return cached
+
+    def leaf_signal(leaf: int) -> str:
+        if leaf == 0:
+            return constant_signal(True)
+        if leaf in pi_signal:
+            return pi_signal[leaf]
+        return signal_of[leaf]
+
+    # Determine which nodes the cover actually uses.
+    used: set[int] = set()
+    stack = [literal >> 1 for _, literal in aig.outputs if aig.is_and(literal >> 1)]
+    while stack:
+        node = stack.pop()
+        if node in used:
+            continue
+        used.add(node)
+        cut, _ = chosen[node]
+        stack.extend(leaf for leaf in cut if aig.is_and(leaf))
+
+    for node in aig.reachable_ands():
+        if node not in used:
+            continue
+        cut, match = chosen[node]
+        pins: list[str | None] = [None] * len(cut)
+        for position, leaf in enumerate(cut):
+            signal = leaf_signal(leaf)
+            if match.input_inverted[position]:
+                signal = inverted_signal(signal)
+            pins[match.pin_of[position]] = signal
+        cover, cover_inverted = covers[match.cell.function]
+        gate = mapped.add_node(fresh("g"), tuple(pins), cover, cover_inverted)
+        cell_of[gate] = match.cell
+        signal_of[node] = inverted_signal(gate) if match.output_inverted else gate
+
+    for po_name, literal in aig.outputs:
+        node = literal >> 1
+        if node == 0:
+            source = constant_signal(literal == Aig.ONE)
+            if literal & 1:
+                source = constant_signal(False)
+        else:
+            source = leaf_signal(node)
+            if literal & 1:
+                source = inverted_signal(source)
+        mapped.add_node(po_name, (source,), ("1",))
+        cell_of[po_name] = Cell("WIRE", "wire", 1, 0.0, 0.0, 0.0)
+        mapped.add_output(po_name)
+
+    mapped.sweep_dangling()
+    cell_of = {n: c for n, c in cell_of.items() if mapped.has_signal(n)}
+    return MappedCircuit(mapped, cell_of, library)

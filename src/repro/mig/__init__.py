@@ -1,0 +1,16 @@
+"""Majority-Inverter Graphs: the extension the paper's future work
+seeded (MAJ/INV-only logic representation with algebraic rewriting)."""
+
+from .convert import mig_to_network, network_to_mig, trees_to_mig
+from .mig import Mig
+from .rewrite import depth_size_report, rewrite_depth, rewrite_size
+
+__all__ = [
+    "Mig",
+    "depth_size_report",
+    "mig_to_network",
+    "network_to_mig",
+    "rewrite_depth",
+    "rewrite_size",
+    "trees_to_mig",
+]

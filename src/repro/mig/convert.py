@@ -1,0 +1,182 @@
+"""Conversions into and out of MIGs."""
+
+from __future__ import annotations
+
+from ..core.tree import TreeBuilder
+from ..network import LogicNetwork
+from .mig import Mig
+
+
+def network_to_mig(network: LogicNetwork) -> Mig:
+    """Strash a logic network into a MIG.
+
+    Recognized gates map natively — in particular a MAJ-shaped SOP
+    cover becomes *one* majority node, which is where MIGs beat
+    OR-of-AND translations — and general covers fall back to
+    constant-input majorities (AND/OR)."""
+    from ..mapping.mapper import classify_gate
+
+    mig = Mig()
+    literals: dict[str, int] = {}
+    for name in network.inputs:
+        literals[name] = mig.add_input(name)
+    for name in network.topological_order():
+        node = network.node(name)
+        kind, out_inv, fanins = classify_gate(node)
+        if kind == "const0":
+            literal = Mig.ZERO
+        elif kind == "const1":
+            literal = Mig.ONE
+        elif kind == "buf":
+            literal = literals[fanins[0]]
+        elif kind == "and":
+            literal = mig.and_(literals[fanins[0]], literals[fanins[1]])
+        elif kind == "or":
+            literal = mig.or_(literals[fanins[0]], literals[fanins[1]])
+        elif kind == "andnot":
+            literal = mig.and_(literals[fanins[0]], literals[fanins[1]] ^ 1)
+        elif kind == "notand":
+            literal = mig.and_(literals[fanins[0]] ^ 1, literals[fanins[1]])
+        elif kind == "xor":
+            literal = mig.xor_(literals[fanins[0]], literals[fanins[1]])
+        elif kind == "maj":
+            literal = mig.maj(*(literals[f] for f in fanins))
+        elif kind == "mux":
+            select, when_true, when_false = (literals[f] for f in fanins)
+            literal = mig.or_(
+                mig.and_(select, when_true), mig.and_(select ^ 1, when_false)
+            )
+        else:  # general SOP
+            literal = Mig.ZERO
+            for row in node.cover:
+                term = Mig.ONE
+                for ch, fanin in zip(row, node.fanins):
+                    if ch == "1":
+                        term = mig.and_(term, literals[fanin])
+                    elif ch == "0":
+                        term = mig.and_(term, literals[fanin] ^ 1)
+                literal = mig.or_(literal, term)
+            literals[name] = literal ^ 1 if node.inverted else literal
+            continue
+        literals[name] = literal ^ 1 if out_inv else literal
+    for output in network.outputs:
+        mig.add_output(output, literals[output])
+    return mig
+
+
+def trees_to_mig(
+    builder: TreeBuilder, roots: dict[str, int], inputs: list[str]
+) -> Mig:
+    """Re-express BDS-MAJ factoring trees as a MIG.
+
+    MAJ tree nodes become native majority nodes (no expansion), which
+    is the representational advantage the MIG line of work built on.
+    Tree leaves may reference other supernode roots (boundary signals);
+    those are resolved recursively, so passing the full root map of a
+    decomposed network yields one connected MIG.
+    """
+    mig = Mig()
+    signal_literal: dict[str, int] = {}
+    for name in inputs:
+        signal_literal[name] = mig.add_input(name)
+    cache: dict[int, int] = {}
+
+    def resolve_signal(name: str) -> int:
+        cached = signal_literal.get(name)
+        if cached is not None:
+            return cached
+        if name not in roots:
+            raise KeyError(
+                f"tree leaf {name!r} is neither an input nor a root signal"
+            )
+        literal = build(roots[name])
+        signal_literal[name] = literal
+        return literal
+
+    def build(tree_id: int) -> int:
+        cached = cache.get(tree_id)
+        if cached is not None:
+            return cached
+        op = builder.op(tree_id)
+        children = builder.children(tree_id)
+        if op == "const0":
+            literal = Mig.ZERO
+        elif op == "const1":
+            literal = Mig.ONE
+        elif op == "lit":
+            literal = resolve_signal(builder.literal_name(tree_id))
+        elif op == "not":
+            literal = build(children[0]) ^ 1
+        elif op == "and":
+            literal = mig.and_(build(children[0]), build(children[1]))
+        elif op == "or":
+            literal = mig.or_(build(children[0]), build(children[1]))
+        elif op == "xor":
+            literal = mig.xor_(build(children[0]), build(children[1]))
+        elif op == "xnor":
+            literal = mig.xor_(build(children[0]), build(children[1])) ^ 1
+        elif op == "maj":
+            literal = mig.maj(*(build(child) for child in children))
+        else:  # pragma: no cover - exhaustive over tree ops
+            raise ValueError(f"unexpected tree op {op!r}")
+        cache[tree_id] = literal
+        return literal
+
+    for name in roots:
+        mig.add_output(name, resolve_signal(name))
+    return mig
+
+
+def mig_to_network(mig: Mig, name: str = "from_mig") -> LogicNetwork:
+    """Emit a MIG as a MAJ/NOT gate-level network (POs keep their names)."""
+    network = LogicNetwork(name)
+    signal_of: dict[int, str] = {}
+    for pi_name in mig.inputs:
+        network.add_input(pi_name)
+        signal_of[mig.input_literal(pi_name) >> 1] = pi_name
+
+    counter = [0]
+    inverter_of: dict[str, str] = {}
+    output_names = {po_name for po_name, _ in mig.outputs}
+    constant_one: list[str] = []
+
+    def fresh(stem: str) -> str:
+        counter[0] += 1
+        candidate = f"{stem}{counter[0]}"
+        while network.has_signal(candidate) or candidate in output_names:
+            counter[0] += 1
+            candidate = f"{stem}{counter[0]}"
+        return candidate
+
+    def literal_signal(literal: int) -> str:
+        node = literal >> 1
+        if node == 0:
+            if not constant_one:
+                constant_one.append(network.add_const(fresh("const"), True))
+            base = constant_one[0]
+        else:
+            base = signal_of[node]
+        if literal & 1 == 0:
+            return base
+        existing = inverter_of.get(base)
+        if existing is None:
+            existing = network.add_not(fresh("inv"), base)
+            inverter_of[base] = existing
+        return existing
+
+    for node in mig.reachable_majs():
+        a, b, c = mig.fanins(node)
+        signal_of[node] = network.add_maj(
+            fresh("maj"), literal_signal(a), literal_signal(b), literal_signal(c)
+        )
+
+    for po_name, literal in mig.outputs:
+        node = literal >> 1
+        if node == 0:
+            network.add_const(po_name, literal == Mig.ONE)
+        elif literal & 1:
+            network.add_not(po_name, signal_of[node])
+        else:
+            network.add_buf(po_name, signal_of[node])
+        network.add_output(po_name)
+    return network

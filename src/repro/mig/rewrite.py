@@ -1,0 +1,98 @@
+"""MIG algebraic rewriting (the Ω axioms of the MIG papers).
+
+The BDS-MAJ authors' follow-up work defines a sound and complete axiom
+system for majority logic; this module implements the two transforms
+that matter for optimization and applies them greedily:
+
+* **Ω.M (majority)** — ``Maj(x, x, z) = x`` and ``Maj(x, x', z) = z``;
+  applied at construction time by :class:`~repro.mig.mig.Mig`, and
+  again during rewriting when substitutions create new opportunities.
+* **Ω.A (associativity)** — ``Maj(x, u, Maj(y, u, z)) =
+  Maj(z, u, Maj(y, u, x))``: swaps a variable on the critical path with
+  one two levels down, the basic depth-reduction move.
+
+:func:`rewrite_depth` walks the critical path top-down and applies Ω.A
+whenever it shortens the local cone; :func:`rewrite_size` re-runs the
+construction folds (a cheap "reliteralization" pass).  Both preserve
+the function, which the tests check exhaustively on small MIGs.
+"""
+
+from __future__ import annotations
+
+from .mig import Mig
+
+
+def rewrite_size(mig: Mig) -> Mig:
+    """Rebuild the MIG through the canonical constructor; substitution
+    chains from previous rewrites get re-folded (Ω.M) and re-strashed."""
+    return mig.cleanup()
+
+
+def rewrite_depth(mig: Mig, passes: int = 2) -> Mig:
+    """Greedy depth-oriented rewriting with the associativity axiom."""
+    current = mig.cleanup()
+    for _ in range(passes):
+        candidate = _one_depth_pass(current)
+        if candidate.depth() >= current.depth():
+            return current
+        current = candidate
+    return current
+
+
+def _one_depth_pass(mig: Mig) -> Mig:
+    fresh = Mig()
+    mapping: dict[int, int] = {0: Mig.ONE}
+    level: dict[int, int] = {0: 0}
+    for name in mig.inputs:
+        literal = fresh.add_input(name)
+        mapping[mig.input_literal(name) >> 1] = literal
+        level[literal >> 1] = 0
+
+    def literal_level(literal: int) -> int:
+        return level.get(literal >> 1, 0)
+
+    def build(a: int, b: int, c: int) -> int:
+        result = fresh.maj(a, b, c)
+        node = result >> 1
+        if fresh.is_maj(node) and node not in level:
+            children = fresh.fanins(node)
+            level[node] = 1 + max(literal_level(child) for child in children)
+        return result
+
+    for node in mig.reachable_majs():
+        children = [mapping[f >> 1] ^ (f & 1) for f in mig.fanins(node)]
+        children.sort(key=literal_level, reverse=True)
+        deep, mid, shallow = children
+        rewritten = None
+        # Omega.A: if the deepest child is itself a MAJ sharing a child
+        # with this node, swap the late arrival downward:
+        #   Maj(x, u, Maj(y, u, z)) = Maj(z, u, Maj(y, u, x))
+        deep_node = deep >> 1
+        if (
+            deep & 1 == 0
+            and fresh.is_maj(deep_node)
+            and literal_level(deep) > max(literal_level(mid), literal_level(shallow))
+        ):
+            inner = fresh.fanins(deep_node)
+            for u in (mid, shallow):
+                if u in inner:
+                    x = mid if u is shallow else shallow
+                    rest = [lit for lit in inner if lit != u]
+                    if len(rest) == 2:
+                        y, z = sorted(rest, key=literal_level)
+                        # Move the *shallow* outer literal x inside and
+                        # the *deep* inner literal z outside.
+                        if literal_level(z) > literal_level(x):
+                            inner_new = build(y, u, x)
+                            rewritten = build(z, u, inner_new)
+                    break
+        mapping[node] = rewritten if rewritten is not None else build(deep, mid, shallow)
+
+    for name, literal in mig.outputs:
+        fresh.add_output(name, mapping[literal >> 1] ^ (literal & 1))
+    return fresh.cleanup()
+
+
+def depth_size_report(mig: Mig) -> dict[str, int]:
+    """Convenience metrics bundle used by examples and benches."""
+    return {"size": mig.size(), "depth": mig.depth()}

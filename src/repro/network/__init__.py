@@ -1,0 +1,50 @@
+"""Boolean network substrate: netlists, BLIF I/O, simulation,
+equivalence checking and BDS-style network partitioning."""
+
+from .bdds import BddSizeExceeded, cover_to_bdd, global_bdds, supernode_bdd
+from .blif import BlifError, parse_blif, read_blif, to_blif, write_blif
+from .equivalence import (
+    EquivalenceResult,
+    bdd_equivalent,
+    check_equivalence,
+    exhaustive_equivalent,
+    random_equivalent,
+)
+from .netlist import LogicNetwork, NetworkError, Node
+from .verilog import to_verilog, write_verilog
+from .partition import (
+    PartitionConfig,
+    Supernode,
+    build_local_bdd,
+    partition,
+    partition_statistics,
+    partition_with_bdds,
+)
+
+__all__ = [
+    "BddSizeExceeded",
+    "BlifError",
+    "EquivalenceResult",
+    "LogicNetwork",
+    "NetworkError",
+    "Node",
+    "PartitionConfig",
+    "Supernode",
+    "bdd_equivalent",
+    "build_local_bdd",
+    "check_equivalence",
+    "cover_to_bdd",
+    "exhaustive_equivalent",
+    "global_bdds",
+    "parse_blif",
+    "partition",
+    "partition_statistics",
+    "partition_with_bdds",
+    "random_equivalent",
+    "read_blif",
+    "supernode_bdd",
+    "to_blif",
+    "to_verilog",
+    "write_blif",
+    "write_verilog",
+]

@@ -1,0 +1,166 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+The paper's toolchain speaks BLIF: MCNC benchmarks ship as BLIF and the
+custom HDL benchmarks are "converted in blif format using a HDL-to-blif
+translator" (Section V.A.1).  Only the combinational subset is
+supported — ``.model``, ``.inputs``, ``.outputs``, ``.names``, ``.end``
+— which covers every circuit in Tables I and II.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO
+
+from .netlist import LogicNetwork, NetworkError
+
+
+class BlifError(NetworkError):
+    """Raised on malformed BLIF input."""
+
+
+def parse_blif(text: str) -> LogicNetwork:
+    """Parse BLIF ``text`` into a :class:`LogicNetwork`."""
+    return read_blif(io.StringIO(text))
+
+
+def read_blif(stream: TextIO) -> LogicNetwork:
+    """Read a combinational BLIF model from ``stream``."""
+    network: LogicNetwork | None = None
+    inputs: list[str] = []
+    outputs: list[str] = []
+    pending: tuple[list[str], list[str]] | None = None  # (signals, rows)
+    nodes: list[tuple[str, tuple[str, ...], tuple[str, ...], bool]] = []
+    model_name = "top"
+
+    def flush_pending() -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        signals, rows = pending
+        pending = None
+        *fanins, name = signals
+        on_rows: list[str] = []
+        off_rows: list[str] = []
+        for row in rows:
+            parts = row.split()
+            if len(parts) == 1 and not fanins:
+                pattern, value = "", parts[0]
+            elif len(parts) == 2:
+                pattern, value = parts
+            else:
+                raise BlifError(f"malformed cover row {row!r} for node {name!r}")
+            if len(pattern) != len(fanins):
+                raise BlifError(
+                    f"cover row {row!r} of node {name!r} does not match "
+                    f"{len(fanins)} inputs"
+                )
+            if value == "1":
+                on_rows.append(pattern)
+            elif value == "0":
+                off_rows.append(pattern)
+            else:
+                raise BlifError(f"bad output value in row {row!r}")
+        if on_rows and off_rows:
+            raise BlifError(f"node {name!r} mixes output-1 and output-0 rows")
+        if off_rows:
+            nodes.append((name, tuple(fanins), tuple(off_rows), True))
+        else:
+            nodes.append((name, tuple(fanins), tuple(on_rows), False))
+
+    for raw_line in _logical_lines(stream):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("."):
+            flush_pending()
+            directive, *rest = line.split()
+            if directive == ".model":
+                model_name = rest[0] if rest else "top"
+            elif directive == ".inputs":
+                inputs.extend(rest)
+            elif directive == ".outputs":
+                outputs.extend(rest)
+            elif directive == ".names":
+                if not rest:
+                    raise BlifError(".names with no signals")
+                pending = (rest, [])
+            elif directive == ".end":
+                break
+            elif directive in (".latch", ".gate", ".subckt"):
+                raise BlifError(f"unsupported (sequential/mapped) directive {directive}")
+            else:
+                # Ignore benign extensions (.default_input_arrival etc.).
+                continue
+        else:
+            if pending is None:
+                raise BlifError(f"cover row {line!r} outside .names")
+            pending[1].append(line)
+    flush_pending()
+
+    network = LogicNetwork(model_name)
+    for name in inputs:
+        network.add_input(name)
+    for name, fanins, cover, inverted in nodes:
+        network.add_node(name, fanins, cover, inverted)
+    for name in outputs:
+        network.add_output(name)
+    network.validate()
+    return network
+
+
+def _logical_lines(stream: TextIO) -> Iterable[str]:
+    """Yield lines with BLIF continuation (trailing backslash) folded."""
+    buffer = ""
+    for line in stream:
+        line = line.rstrip("\n")
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        yield buffer + line
+        buffer = ""
+    if buffer:
+        yield buffer
+
+
+def write_blif(network: LogicNetwork, stream: TextIO) -> None:
+    """Write ``network`` to ``stream`` in BLIF."""
+    stream.write(f".model {network.name}\n")
+    stream.write(_wrapped(".inputs", network.inputs))
+    stream.write(_wrapped(".outputs", network.outputs))
+    for name in network.topological_order():
+        node = network.node(name)
+        if not node.cover:
+            # Constant node: an inverted empty cover is constant TRUE;
+            # normalize so the reader does not need the inverted flag.
+            stream.write(f".names {node.name}\n")
+            if node.inverted:
+                stream.write("1\n")
+            continue
+        stream.write(_wrapped(".names", (*node.fanins, node.name)))
+        value = "0" if node.inverted else "1"
+        for row in node.cover:
+            stream.write(f"{row} {value}\n" if row else f"{value}\n")
+    stream.write(".end\n")
+
+
+def to_blif(network: LogicNetwork) -> str:
+    buffer = io.StringIO()
+    write_blif(network, buffer)
+    return buffer.getvalue()
+
+
+def _wrapped(directive: str, names: Iterable[str], limit: int = 80) -> str:
+    """Format a directive with backslash continuations at ~limit cols."""
+    parts = [directive]
+    lines: list[str] = []
+    length = len(directive)
+    for name in names:
+        if length + len(name) + 1 > limit and len(parts) > 1:
+            lines.append(" ".join(parts) + " \\")
+            parts = [" "]
+            length = 1
+        parts.append(name)
+        length += len(name) + 1
+    lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,80 @@
+"""Structural Verilog emission.
+
+Downstream consumers of a synthesis tool usually want Verilog next to
+BLIF; this writer emits a single combinational module using ``assign``
+statements.  Recognized gates render as operators (``&``, ``|``, ``^``,
+ternary for MUX, two-level expression for MAJ); general SOP covers
+render as sum-of-products expressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import TextIO
+
+from .netlist import LogicNetwork
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Verilog-safe identifier (escaped identifier when necessary)."""
+    if _IDENT.match(name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(network: LogicNetwork, stream: TextIO) -> None:
+    """Write ``network`` as a structural Verilog module."""
+    inputs = [_escape(name) for name in network.inputs]
+    outputs = [_escape(name) for name in network.outputs]
+    ports = ", ".join(inputs + outputs)
+    stream.write(f"module {_escape(network.name)} ({ports});\n")
+    if inputs:
+        stream.write(f"  input {', '.join(inputs)};\n")
+    if outputs:
+        stream.write(f"  output {', '.join(outputs)};\n")
+
+    output_set = set(network.outputs)
+    wires = [
+        _escape(name) for name in network.node_names if name not in output_set
+    ]
+    for chunk_start in range(0, len(wires), 12):
+        chunk = wires[chunk_start : chunk_start + 12]
+        stream.write(f"  wire {', '.join(chunk)};\n")
+
+    for name in network.topological_order():
+        node = network.node(name)
+        stream.write(f"  assign {_escape(name)} = {_node_expression(node)};\n")
+    stream.write("endmodule\n")
+
+
+def _node_expression(node) -> str:
+    if not node.cover:
+        body = "1'b0"
+        return f"~({body})" if node.inverted else body
+    terms = []
+    for row in node.cover:
+        literals = []
+        for ch, fanin in zip(row, node.fanins):
+            if ch == "1":
+                literals.append(_escape(fanin))
+            elif ch == "0":
+                literals.append(f"~{_escape(fanin)}")
+        if not literals:
+            terms.append("1'b1")
+        elif len(literals) == 1:
+            terms.append(literals[0])
+        else:
+            terms.append("(" + " & ".join(literals) + ")")
+    body = " | ".join(terms)
+    if node.inverted:
+        return f"~({body})"
+    return body
+
+
+def to_verilog(network: LogicNetwork) -> str:
+    buffer = io.StringIO()
+    write_verilog(network, buffer)
+    return buffer.getvalue()

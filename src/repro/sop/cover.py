@@ -1,0 +1,149 @@
+"""Positional-cube covers and a light two-level minimizer.
+
+Covers use the BLIF convention shared with :mod:`repro.network`: a row
+is a string over ``0 1 -`` constraining the fanins positionally; the
+cover is the OR of its rows.
+
+The minimizer (:func:`simplify_cover`) is an espresso-lite: iterated
+single-cube containment, distance-1 merging and an exact irredundancy
+pass built on a recursive tautology check.  It is not the full
+espresso-II expand/reduce loop, but it removes the redundancy the
+DC-like flow's collapsing step introduces, which is what the baseline
+needs (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _row_contains(general: str, specific: str) -> bool:
+    """True if cube ``general`` contains cube ``specific`` (every
+    minterm of specific is in general)."""
+    for g, s in zip(general, specific):
+        if g != "-" and g != s:
+            return False
+    return True
+
+
+def _merge_distance_one(left: str, right: str) -> str | None:
+    """Combine two cubes differing in exactly one opposing position."""
+    difference = -1
+    for i, (l, r) in enumerate(zip(left, right)):
+        if l == r:
+            continue
+        if l == "-" or r == "-":
+            return None
+        if difference >= 0:
+            return None
+        difference = i
+    if difference < 0:
+        return None  # identical
+    return left[:difference] + "-" + left[difference + 1 :]
+
+
+def _cofactor_cover(cover: Sequence[str], position: int, value: str) -> list[str]:
+    """Shannon cofactor of a cover w.r.t. one position."""
+    result = []
+    for row in cover:
+        ch = row[position]
+        if ch == "-" or ch == value:
+            result.append(row[:position] + "-" + row[position + 1 :])
+    return result
+
+
+def cover_is_tautology(cover: Sequence[str]) -> bool:
+    """Recursive tautology check (unate reduction + binate splitting)."""
+    if not cover:
+        return False
+    if any(all(ch == "-" for ch in row) for row in cover):
+        return True
+    width = len(cover[0])
+    # Pick the most binate position to split on.
+    best_position = -1
+    best_score = -1
+    for position in range(width):
+        ones = sum(1 for row in cover if row[position] == "1")
+        zeros = sum(1 for row in cover if row[position] == "0")
+        if ones and zeros:
+            score = min(ones, zeros)
+            if score > best_score:
+                best_score = score
+                best_position = position
+    if best_position < 0:
+        # Unate cover: tautology iff it has an all-don't-care row
+        # (already checked above).
+        return False
+    return cover_is_tautology(
+        _cofactor_cover(cover, best_position, "1")
+    ) and cover_is_tautology(_cofactor_cover(cover, best_position, "0"))
+
+
+def cube_covered(cube: str, cover: Sequence[str]) -> bool:
+    """True if ``cube`` is contained in the union of ``cover``."""
+    cofactored = []
+    for row in cover:
+        merged = []
+        compatible = True
+        for c, r in zip(cube, row):
+            if c == "-":
+                merged.append(r)
+            elif r == "-" or r == c:
+                merged.append("-")
+            else:
+                compatible = False
+                break
+        if compatible:
+            cofactored.append("".join(merged))
+    return cover_is_tautology(cofactored)
+
+
+def simplify_cover(cover: Iterable[str]) -> tuple[str, ...]:
+    """Espresso-lite minimization of an ON-set cover."""
+    rows = list(dict.fromkeys(cover))  # dedupe, keep order
+    if not rows:
+        return ()
+    if any(all(ch == "-" for ch in row) for row in rows):
+        return ("-" * len(rows[0]),)
+
+    changed = True
+    while changed:
+        changed = False
+        # Single-cube containment.
+        kept: list[str] = []
+        for row in rows:
+            if any(other != row and _row_contains(other, row) for other in rows):
+                changed = True
+                continue
+            kept.append(row)
+        rows = list(dict.fromkeys(kept))
+        # Distance-1 merging.
+        merged_any = True
+        while merged_any:
+            merged_any = False
+            for i in range(len(rows)):
+                for j in range(i + 1, len(rows)):
+                    merged = _merge_distance_one(rows[i], rows[j])
+                    if merged is not None:
+                        rows = [r for k, r in enumerate(rows) if k not in (i, j)]
+                        rows.append(merged)
+                        merged_any = True
+                        changed = True
+                        break
+                if merged_any:
+                    break
+
+    # Irredundancy: drop cubes covered by the rest.
+    index = 0
+    while index < len(rows):
+        candidate = rows[index]
+        rest = rows[:index] + rows[index + 1 :]
+        if rest and cube_covered(candidate, rest):
+            rows = rest
+        else:
+            index += 1
+    return tuple(rows)
+
+
+def count_literals(cover: Iterable[str]) -> int:
+    return sum(1 for row in cover for ch in row if ch != "-")

@@ -1,0 +1,161 @@
+"""Tests for the AIG core, truth utilities and conversions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import (
+    Aig,
+    aig_to_network,
+    cover_to_table,
+    full_mask,
+    isop,
+    network_to_aig,
+    synthesize_table,
+    var_mask,
+)
+from repro.benchgen import ripple_carry_adder
+from repro.network import check_equivalence
+
+
+class TestAigCore:
+    def test_constant_folding(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert aig.and_(a, Aig.ZERO) == Aig.ZERO
+        assert aig.and_(a, Aig.ONE) == a
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, a ^ 1) == Aig.ZERO
+
+    def test_structural_hashing(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        assert aig.and_(a, b) == aig.and_(b, a)
+        assert aig.num_nodes() == 1
+
+    def test_de_morgan_via_or(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        or_ab = aig.or_(a, b)
+        aig.add_output("o", or_ab)
+        values = aig.simulate({"a": 0b0101, "b": 0b0011}, 0b1111)
+        assert values["o"] == 0b0111
+
+    def test_xor_and_maj(self):
+        aig = Aig()
+        a, b, c = (aig.add_input(n) for n in "abc")
+        aig.add_output("x", aig.xor_(a, b))
+        aig.add_output("m", aig.maj(a, b, c))
+        for vector in range(8):
+            stim = {"a": vector & 1, "b": vector >> 1 & 1, "c": vector >> 2 & 1}
+            values = aig.simulate(stim, 1)
+            assert values["x"] == stim["a"] ^ stim["b"]
+            assert values["m"] == int(stim["a"] + stim["b"] + stim["c"] >= 2)
+
+    def test_size_counts_only_reachable(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        kept = aig.and_(a, b)
+        aig.and_(a, b ^ 1)  # dead node
+        aig.add_output("o", kept)
+        assert aig.num_nodes() == 2
+        assert aig.size() == 1
+
+    def test_cleanup_drops_dead_logic(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        kept = aig.and_(a, b)
+        aig.and_(a ^ 1, b)
+        aig.add_output("o", kept)
+        fresh = aig.cleanup()
+        assert fresh.num_nodes() == 1
+        assert fresh.simulate({"a": 1, "b": 1}, 1)["o"] == 1
+
+    def test_depth(self):
+        aig = Aig()
+        literals = [aig.add_input(f"x{i}") for i in range(8)]
+        chain = literals[0]
+        for literal in literals[1:]:
+            chain = aig.and_(chain, literal)
+        aig.add_output("o", chain)
+        assert aig.depth() == 7
+
+    def test_duplicate_input_rejected(self):
+        aig = Aig()
+        aig.add_input("a")
+        with pytest.raises(ValueError):
+            aig.add_input("a")
+
+
+class TestTruthTables:
+    def test_var_masks(self):
+        assert var_mask(0, 2) == 0b1010
+        assert var_mask(1, 2) == 0b1100
+        assert full_mask(3) == 0xFF
+
+    @settings(max_examples=120, deadline=None)
+    @given(table=st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_isop_round_trip(self, table):
+        rows = isop(table, 4)
+        assert cover_to_table(rows, 4) == table
+
+    @settings(max_examples=60, deadline=None)
+    @given(table=st.integers(min_value=0, max_value=255))
+    def test_isop_is_irredundant_cover(self, table):
+        rows = isop(table, 3)
+        # Each row must contribute at least one minterm of the function.
+        for index, row in enumerate(rows):
+            rest = rows[:index] + rows[index + 1 :]
+            assert cover_to_table([row], 3) & table == cover_to_table([row], 3)
+            assert cover_to_table(rest, 3) != table or len(rows) == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_synthesize_table_correct(self, table):
+        aig = Aig()
+        leaves = [aig.add_input(f"x{i}") for i in range(4)]
+        literal = synthesize_table(aig, table, leaves, 4)
+        aig.add_output("f", literal)
+        for minterm in range(16):
+            stim = {f"x{i}": minterm >> i & 1 for i in range(4)}
+            assert aig.simulate(stim, 1)["f"] == (table >> minterm & 1)
+
+
+class TestConversions:
+    def test_network_round_trip(self):
+        net = ripple_carry_adder(5)
+        aig = network_to_aig(net)
+        back = aig_to_network(aig, name=net.name)
+        assert check_equivalence(net, back).equivalent
+
+    def test_aig_network_is_gate_level(self):
+        net = ripple_carry_adder(3)
+        back = aig_to_network(network_to_aig(net))
+        for name in back.node_names:
+            node = back.node(name)
+            assert len(node.fanins) <= 2
+
+    def test_inverted_and_constant_outputs(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        aig.add_output("not_a", a ^ 1)
+        aig.add_output("always", Aig.ONE)
+        aig.add_output("never", Aig.ZERO)
+        net = aig_to_network(aig)
+        values = net.simulate({"a": 1}, 1)
+        assert values == {"not_a": 0, "always": 1, "never": 0}
+
+    def test_shared_inverters(self):
+        aig = Aig()
+        a, b, c = (aig.add_input(n) for n in "abc")
+        aig.add_output("x", aig.and_(a ^ 1, b))
+        aig.add_output("y", aig.and_(a ^ 1, c))
+        net = aig_to_network(aig)
+        inverters = [
+            n for n in net.node_names if net.node(n).cover == ("0",)
+        ]
+        assert len(inverters) == 1

@@ -1,0 +1,93 @@
+"""Tests for k-feasible cut enumeration."""
+
+from __future__ import annotations
+
+import random
+
+from repro.aig import Aig, cut_truth_table, enumerate_cuts, full_mask
+
+
+def small_aig():
+    aig = Aig()
+    a, b, c, d = (aig.add_input(n) for n in "abcd")
+    ab = aig.and_(a, b)
+    cd = aig.and_(c, d)
+    root = aig.and_(ab, cd ^ 1)
+    aig.add_output("o", root)
+    return aig, (a, b, c, d, ab, cd, root)
+
+
+class TestEnumeration:
+    def test_trivial_cut_always_present(self):
+        aig, (_, _, _, _, ab, cd, root) = small_aig()
+        cuts = enumerate_cuts(aig)
+        for node in (ab >> 1, cd >> 1, root >> 1):
+            assert (node,) in cuts[node]
+
+    def test_leaf_cut_of_root(self):
+        aig, (a, b, c, d, _, _, root) = small_aig()
+        cuts = enumerate_cuts(aig, k=4)
+        leaves = tuple(sorted(x >> 1 for x in (a, b, c, d)))
+        assert leaves in cuts[root >> 1]
+
+    def test_k_bound_respected(self):
+        rng = random.Random(3)
+        aig = Aig()
+        pool = [aig.add_input(f"x{i}") for i in range(10)]
+        for _ in range(60):
+            l, r = rng.sample(pool, 2)
+            pool.append(aig.and_(l ^ rng.getrandbits(1), r ^ rng.getrandbits(1)))
+        aig.add_output("o", pool[-1])
+        for k in (2, 3, 4, 6):
+            cuts = enumerate_cuts(aig, k=k)
+            for node_cuts in cuts.values():
+                assert all(len(cut) <= k for cut in node_cuts)
+
+    def test_per_node_cap(self):
+        rng = random.Random(7)
+        aig = Aig()
+        pool = [aig.add_input(f"x{i}") for i in range(8)]
+        for _ in range(80):
+            l, r = rng.sample(pool, 2)
+            pool.append(aig.and_(l, r ^ 1))
+        aig.add_output("o", pool[-1])
+        cuts = enumerate_cuts(aig, k=4, max_cuts_per_node=3)
+        assert all(len(c) <= 3 for c in cuts.values())
+
+    def test_dominated_cuts_pruned(self):
+        aig, (a, b, _, _, ab, _, _) = small_aig()
+        cuts = enumerate_cuts(aig)
+        node_cuts = cuts[ab >> 1]
+        # (a, b) is present; any superset of it would be dominated.
+        as_sets = [set(c) for c in node_cuts]
+        for i, cut in enumerate(as_sets):
+            assert not any(other < cut for j, other in enumerate(as_sets) if j != i)
+
+
+class TestCutFunctions:
+    def test_truth_table_of_root_cut(self):
+        aig, (a, b, c, d, _, _, root) = small_aig()
+        leaves = tuple(x >> 1 for x in (a, b, c, d))
+        table = cut_truth_table(aig, root >> 1, leaves)
+        for minterm in range(16):
+            va, vb, vc, vd = (minterm >> i & 1 for i in range(4))
+            expected = (va & vb) & (1 - (vc & vd))
+            assert (table >> minterm & 1) == expected
+
+    def test_cut_functions_match_simulation(self):
+        rng = random.Random(11)
+        aig = Aig()
+        pool = [aig.add_input(f"x{i}") for i in range(6)]
+        for _ in range(40):
+            l, r = rng.sample(pool, 2)
+            pool.append(aig.and_(l ^ rng.getrandbits(1), r ^ rng.getrandbits(1)))
+        aig.add_output("o", pool[-1])
+        cuts = enumerate_cuts(aig, k=4)
+        for node, node_cuts in list(cuts.items())[:30]:
+            if not aig.is_and(node):
+                continue
+            for cut in node_cuts:
+                if cut == (node,):
+                    continue
+                table = cut_truth_table(aig, node, cut)
+                assert 0 <= table <= full_mask(len(cut))

@@ -1,0 +1,146 @@
+"""Tests for generalized cofactors (restrict / constrain).
+
+These operators provide the Theorem 3.3 seeds of the majority
+construction, so the interval property ``f·c <= g <= f + c'`` — i.e.
+``g`` agrees with ``f`` on the care set — is the load-bearing invariant.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, CareSetError, constrain, generalized_cofactor, restrict
+
+from ..conftest import random_function
+
+
+@pytest.mark.parametrize("operator", [restrict, constrain])
+class TestGeneralizedCofactorBasics:
+    def test_full_care_set_is_identity(self, mgr, operator):
+        f = mgr.from_expr("a & b | c")
+        assert operator(mgr, f, mgr.ONE) == f
+
+    def test_empty_care_set_rejected(self, mgr, operator):
+        f = mgr.var("a")
+        with pytest.raises(CareSetError):
+            operator(mgr, f, mgr.ZERO)
+
+    def test_constant_functions_unchanged(self, mgr, operator):
+        care = mgr.from_expr("a | b")
+        assert operator(mgr, mgr.ONE, care) == mgr.ONE
+        assert operator(mgr, mgr.ZERO, care) == mgr.ZERO
+
+    def test_cofactor_by_literal_matches_shannon(self, mgr, operator):
+        f = mgr.from_expr("a & b | ~a & c")
+        a_level = mgr.level_of("a")
+        assert operator(mgr, f, mgr.var("a")) == mgr.cofactor(f, a_level, True)
+        assert operator(mgr, f, mgr.var("a") ^ 1) == mgr.cofactor(f, a_level, False)
+
+    def test_agreement_on_care_set(self, mgr, operator):
+        rng = random.Random(23)
+        for _ in range(40):
+            f = random_function(mgr, "abcde", rng)
+            c = random_function(mgr, "abcde", rng)
+            if c == mgr.ZERO:
+                continue
+            g = operator(mgr, f, c)
+            assert mgr.and_(g, c) == mgr.and_(f, c)
+
+    def test_f_restricted_to_itself_is_tautology(self, mgr, operator):
+        rng = random.Random(29)
+        for _ in range(20):
+            f = random_function(mgr, "abcd", rng)
+            if f == mgr.ZERO:
+                continue
+            assert operator(mgr, f, f) == mgr.ONE
+
+    def test_f_restricted_to_complement_is_zero(self, mgr, operator):
+        rng = random.Random(31)
+        for _ in range(20):
+            f = random_function(mgr, "abcd", rng)
+            if f == mgr.ONE:
+                continue
+            assert operator(mgr, f, f ^ 1) == mgr.ZERO
+
+
+class TestRestrictSpecifics:
+    def test_restrict_does_not_grow_support(self, mgr):
+        # restrict quantifies away care-set variables outside f's support.
+        f = mgr.from_expr("a & b")
+        care = mgr.from_expr("(a | c) & (b | d)")
+        g = restrict(mgr, f, care)
+        assert mgr.support(g) <= mgr.support(f)
+
+    def test_restrict_shrinks_paper_example(self, mgr):
+        # Paper III.C example: F = ab + bc + ac, Fa = a:
+        # H = F|a  = b + c, W = F|a' = bc.
+        f = mgr.from_expr("a & b | b & c | a & c")
+        a = mgr.var("a")
+        assert restrict(mgr, f, a) == mgr.from_expr("b | c")
+        assert restrict(mgr, f, a ^ 1) == mgr.from_expr("b & c")
+
+    def test_constrain_matches_paper_example_too(self, mgr):
+        f = mgr.from_expr("a & b | b & c | a & c")
+        a = mgr.var("a")
+        assert constrain(mgr, f, a) == mgr.from_expr("b | c")
+        assert constrain(mgr, f, a ^ 1) == mgr.from_expr("b & c")
+
+
+class TestDispatch:
+    def test_dispatch_restrict(self, mgr):
+        f = mgr.from_expr("a | b")
+        assert generalized_cofactor(mgr, f, mgr.var("a"), "restrict") == mgr.ONE
+
+    def test_dispatch_constrain(self, mgr):
+        f = mgr.from_expr("a | b")
+        assert generalized_cofactor(mgr, f, mgr.var("a"), "constrain") == mgr.ONE
+
+    def test_dispatch_unknown(self, mgr):
+        with pytest.raises(Exception):
+            generalized_cofactor(mgr, mgr.ONE, mgr.ONE, "bogus")
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    table_f=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    table_c=st.integers(min_value=1, max_value=(1 << 16) - 1),
+    method=st.sampled_from(["restrict", "constrain"]),
+)
+def test_property_interval_containment(table_f, table_c, method):
+    """f·c <= gcf(f, c) <= f + c' bit-for-bit on 4-variable functions."""
+    names = ["a", "b", "c", "d"]
+    mgr = BDD(names)
+    f = mgr.from_truth_table(table_f, names)
+    c = mgr.from_truth_table(table_c, names)
+    g = generalized_cofactor(mgr, f, c, method)
+    table_g = mgr.truth_table(g, names)
+    mask = (1 << 16) - 1
+    assert table_f & table_c & ~table_g & mask == 0  # f·c <= g
+    assert table_g & ~(table_f | (~table_c & mask)) & mask == 0  # g <= f + c'
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    table_f=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    table_c=st.integers(min_value=1, max_value=(1 << 16) - 1),
+)
+def test_property_theorem_3_3_seed_condition(table_f, table_c):
+    """(H xor F') + (W xor F) covers every input when H = F|c, W = F|c'.
+
+    This is Equation 2 of the paper instantiated with the Equation 3
+    seeds: for every input either H agrees with F or W agrees with F.
+    """
+    names = ["a", "b", "c", "d"]
+    mgr = BDD(names)
+    f = mgr.from_truth_table(table_f, names)
+    care = mgr.from_truth_table(table_c, names)
+    if care == mgr.ZERO or care == mgr.ONE:
+        return
+    h = restrict(mgr, f, care)
+    w = restrict(mgr, f, care ^ 1)
+    agreement = mgr.or_(mgr.xnor(h, f), mgr.xnor(w, f))
+    assert agreement == mgr.ONE

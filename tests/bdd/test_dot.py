@@ -1,0 +1,51 @@
+"""Tests for the Graphviz export (Figure 1 rendering)."""
+
+from __future__ import annotations
+
+from repro.bdd import BDD, to_dot
+from repro.core import find_m_dominators
+
+
+class TestDotExport:
+    def test_structure_of_simple_bdd(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.from_expr("a & b")
+        dot = to_dot(mgr, {"F": f})
+        assert dot.startswith("digraph bdd {")
+        assert dot.rstrip().endswith("}")
+        assert 'terminal [label="1", shape=box]' in dot
+        assert '[label="a"]' in dot and '[label="b"]' in dot
+
+    def test_edge_styles(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.from_expr("a & b")
+        dot = to_dot(mgr, {"F": f})
+        assert "style=solid" in dot  # 1-edges
+        # a&b has a complemented 0-edge to the terminal.
+        assert "style=dotted" in dot
+
+    def test_highlighting(self):
+        mgr = BDD(["c", "b", "a"])
+        f = mgr.from_expr("a & b | b & c | a & c")
+        (candidate,) = find_m_dominators(mgr, f)
+        dot = to_dot(mgr, {"F": f}, highlight=[candidate.node])
+        assert dot.count("penwidth=2.0") == 1
+
+    def test_multiple_roots_render(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.from_expr("a ^ b")
+        g = mgr.from_expr("b | c")
+        dot = to_dot(mgr, {"f": f, "g": g})
+        assert 'f_f [label="f", shape=plaintext]' in dot
+        assert 'f_g [label="g", shape=plaintext]' in dot
+
+    def test_label_sanitization(self):
+        mgr = BDD(["a"])
+        dot = to_dot(mgr, {"F = a&b!": mgr.var("a")})
+        assert "f_F___a_b_" in dot
+
+    def test_rank_groups_per_level(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.from_expr("a & b & c")
+        dot = to_dot(mgr, {"F": f})
+        assert dot.count("rank=same") == 3

@@ -1,0 +1,139 @@
+"""Tests for quantification, cube enumeration and BDD-based ISOP."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import (
+    BDD,
+    bdd_isop,
+    count_paths,
+    exists,
+    forall,
+    isop_cover_rows,
+    iter_cubes,
+)
+
+from ..conftest import all_assignments, random_function
+
+
+class TestQuantification:
+    def test_exists_definition(self, mgr):
+        rng = random.Random(131)
+        for _ in range(25):
+            f = random_function(mgr, "abcd", rng)
+            for name in "abcd":
+                level = mgr.level_of(name)
+                expected = mgr.or_(
+                    mgr.cofactor(f, level, True), mgr.cofactor(f, level, False)
+                )
+                assert exists(mgr, f, [name]) == expected
+
+    def test_forall_definition(self, mgr):
+        rng = random.Random(137)
+        for _ in range(25):
+            f = random_function(mgr, "abcd", rng)
+            for name in "abcd":
+                level = mgr.level_of(name)
+                expected = mgr.and_(
+                    mgr.cofactor(f, level, True), mgr.cofactor(f, level, False)
+                )
+                assert forall(mgr, f, [name]) == expected
+
+    def test_multi_variable_order_independent(self, mgr):
+        f = mgr.from_expr("a & b | c & ~d")
+        assert exists(mgr, f, ["a", "c"]) == exists(mgr, f, ["c", "a"])
+
+    def test_quantified_variable_leaves_support(self, mgr):
+        f = mgr.from_expr("a & b | c")
+        assert "a" not in mgr.support(exists(mgr, f, ["a"]))
+        assert "a" not in mgr.support(forall(mgr, f, ["a"]))
+
+    def test_duality(self, mgr):
+        rng = random.Random(139)
+        for _ in range(20):
+            f = random_function(mgr, "abcd", rng)
+            assert forall(mgr, f, ["b"]) == exists(mgr, f ^ 1, ["b"]) ^ 1
+
+
+class TestIterCubes:
+    def test_cubes_cover_exactly_the_function(self, mgr):
+        rng = random.Random(149)
+        for _ in range(20):
+            f = random_function(mgr, "abcd", rng)
+            rebuilt = mgr.or_many(mgr.cube(cube) for cube in iter_cubes(mgr, f))
+            assert rebuilt == f
+
+    def test_constant_cubes(self, mgr):
+        assert list(iter_cubes(mgr, mgr.ZERO)) == []
+        assert list(iter_cubes(mgr, mgr.ONE)) == [{}]
+
+    def test_count_paths_matches_enumeration(self, mgr):
+        rng = random.Random(151)
+        for _ in range(20):
+            f = random_function(mgr, "abcde", rng)
+            assert count_paths(mgr, f) == len(list(iter_cubes(mgr, f)))
+
+
+class TestBddIsop:
+    def test_isop_equals_function(self, mgr):
+        rng = random.Random(157)
+        for _ in range(30):
+            f = random_function(mgr, "abcd", rng)
+            cover, cubes = bdd_isop(mgr, f)
+            assert cover == f
+            rebuilt = mgr.or_many(
+                mgr.cube({mgr.name_of(level): phase for level, phase in cube.items()})
+                for cube in cubes
+            )
+            assert rebuilt == f
+
+    def test_isop_rows_positional(self, mgr):
+        f = mgr.from_expr("a & b | ~a & c")
+        rows = isop_cover_rows(mgr, f, ["a", "b", "c"])
+        # Evaluate the rows directly.
+        for assignment in all_assignments("abc"):
+            row_value = any(
+                all(
+                    ch == "-" or (ch == "1") == assignment[name]
+                    for ch, name in zip(row, ["a", "b", "c"])
+                )
+                for row in rows
+            )
+            assert row_value == mgr.eval(f, assignment)
+
+    def test_isop_is_compact_on_unate_functions(self, mgr):
+        # A unate function's ISOP equals its set of prime paths.
+        f = mgr.from_expr("a & b | b & c | a & c")
+        _, cubes = bdd_isop(mgr, f)
+        assert len(cubes) == 3
+        assert all(len(cube) == 2 for cube in cubes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(table=st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_property_bdd_isop_round_trip(table):
+    names = ["a", "b", "c", "d"]
+    mgr = BDD(names)
+    f = mgr.from_truth_table(table, names)
+    cover, _ = bdd_isop(mgr, f)
+    assert cover == f
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    table=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    subset=st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=3),
+)
+def test_property_quantification_bounds(table, subset):
+    """forall f <= f <= exists f (pointwise, over quantified vars)."""
+    names = ["a", "b", "c", "d"]
+    mgr = BDD(names)
+    f = mgr.from_truth_table(table, names)
+    e = exists(mgr, f, subset)
+    a = forall(mgr, f, subset)
+    assert mgr.implies(a, f) == mgr.ONE
+    assert mgr.implies(f, e) == mgr.ONE

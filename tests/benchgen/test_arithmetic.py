@@ -1,0 +1,244 @@
+"""Functional verification of the arithmetic benchmark generators.
+
+Every circuit is simulated against Python integer arithmetic on random
+operands (bit-parallel, many vectors per pass).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.benchgen import (
+    array_multiplier,
+    carry_lookahead_adder,
+    four_operand_adder,
+    multiply_accumulate,
+    reciprocal,
+    restoring_divider,
+    ripple_carry_adder,
+    square_root,
+    wallace_multiplier,
+)
+from repro.network import LogicNetwork
+
+
+def pack_operands(values: list[int], prefix: str, width: int) -> dict[str, int]:
+    """Pack per-vector operand values into bit-parallel stimulus."""
+    stimulus = {}
+    for bit in range(width):
+        packed = 0
+        for position, value in enumerate(values):
+            if value >> bit & 1:
+                packed |= 1 << position
+        stimulus[f"{prefix}{bit}"] = packed
+    return stimulus
+
+
+def unpack_bus(values: dict[str, int], prefix: str, width: int, count: int) -> list[int]:
+    """Reassemble per-vector integers from packed output bits."""
+    results = [0] * count
+    for bit in range(width):
+        packed = values.get(f"{prefix}{bit}", 0)
+        for position in range(count):
+            if packed >> position & 1:
+                results[position] |= 1 << bit
+    return results
+
+
+def pack_scalar(values: list[int], name: str) -> dict[str, int]:
+    packed = 0
+    for position, value in enumerate(values):
+        if value & 1:
+            packed |= 1 << position
+    return {name: packed}
+
+
+def unpack_scalar(values: dict[str, int], name: str, count: int) -> list[int]:
+    packed = values[name]
+    return [packed >> position & 1 for position in range(count)]
+
+
+def drive(net: LogicNetwork, operands: dict[str, tuple[list[int], int]], count: int) -> dict[str, int]:
+    stimulus: dict[str, int] = {}
+    for prefix, (values, width) in operands.items():
+        if width == 0:
+            stimulus.update(pack_scalar(values, prefix))
+        else:
+            stimulus.update(pack_operands(values, prefix, width))
+    return net.simulate(stimulus, count)
+
+
+COUNT = 48
+RNG = random.Random(20130529)  # DAC'13 publication date
+
+
+class TestAdders:
+    def test_ripple_carry(self):
+        width = 12
+        net = ripple_carry_adder(width)
+        a = [RNG.getrandbits(width) for _ in range(COUNT)]
+        b = [RNG.getrandbits(width) for _ in range(COUNT)]
+        values = drive(net, {"a": (a, width), "b": (b, width)}, COUNT)
+        sums = unpack_bus(values, "sum", width, COUNT)
+        couts = unpack_scalar(values, "cout", COUNT)
+        for i in range(COUNT):
+            total = a[i] + b[i]
+            assert sums[i] == total % (1 << width)
+            assert couts[i] == total >> width
+
+    @pytest.mark.parametrize("width", [4, 16, 64])
+    def test_carry_lookahead(self, width):
+        net = carry_lookahead_adder(width)
+        a = [RNG.getrandbits(width) for _ in range(COUNT)]
+        b = [RNG.getrandbits(width) for _ in range(COUNT)]
+        cin = [RNG.getrandbits(1) for _ in range(COUNT)]
+        values = drive(
+            net, {"a": (a, width), "b": (b, width), "cin": (cin, 0)}, COUNT
+        )
+        sums = unpack_bus(values, "sum", width, COUNT)
+        couts = unpack_scalar(values, "cout", COUNT)
+        for i in range(COUNT):
+            total = a[i] + b[i] + cin[i]
+            assert sums[i] == total % (1 << width)
+            assert couts[i] == total >> width
+
+    def test_cla_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            carry_lookahead_adder(24)
+
+    def test_cla_exhaustive_small(self):
+        net = carry_lookahead_adder(4)
+        for a in range(16):
+            for b in range(16):
+                for cin in (0, 1):
+                    values = drive(
+                        net, {"a": ([a], 4), "b": ([b], 4), "cin": ([cin], 0)}, 1
+                    )
+                    total = a + b + cin
+                    assert unpack_bus(values, "sum", 4, 1)[0] == total % 16
+                    assert unpack_scalar(values, "cout", 1)[0] == total >> 4
+
+    def test_four_operand(self):
+        width = 16
+        net = four_operand_adder(width)
+        operands = {
+            prefix: ([RNG.getrandbits(width) for _ in range(COUNT)], width)
+            for prefix in ("a", "b", "c", "d")
+        }
+        values = drive(net, operands, COUNT)
+        sums = unpack_bus(values, "sum", width + 2, COUNT)
+        for i in range(COUNT):
+            expected = sum(operands[p][0][i] for p in ("a", "b", "c", "d"))
+            assert sums[i] == expected
+
+
+class TestMultipliers:
+    @pytest.mark.parametrize("width,builder", [(4, array_multiplier), (8, array_multiplier), (16, array_multiplier)])
+    def test_array_multiplier(self, width, builder):
+        net = builder(width)
+        a = [RNG.getrandbits(width) for _ in range(COUNT)]
+        b = [RNG.getrandbits(width) for _ in range(COUNT)]
+        values = drive(net, {"a": (a, width), "b": (b, width)}, COUNT)
+        products = unpack_bus(values, "prod", 2 * width, COUNT)
+        for i in range(COUNT):
+            assert products[i] == a[i] * b[i]
+
+    def test_array_multiplier_exhaustive_4bit(self):
+        net = array_multiplier(4)
+        for a in range(16):
+            for b in range(16):
+                values = drive(net, {"a": ([a], 4), "b": ([b], 4)}, 1)
+                assert unpack_bus(values, "prod", 8, 1)[0] == a * b
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_wallace_multiplier(self, width):
+        net = wallace_multiplier(width)
+        a = [RNG.getrandbits(width) for _ in range(COUNT)]
+        b = [RNG.getrandbits(width) for _ in range(COUNT)]
+        values = drive(net, {"a": (a, width), "b": (b, width)}, COUNT)
+        products = unpack_bus(values, "prod", 2 * width, COUNT)
+        for i in range(COUNT):
+            assert products[i] == a[i] * b[i]
+
+    def test_wallace_shallower_than_array(self):
+        assert wallace_multiplier(16).depth() < array_multiplier(16).depth()
+
+    def test_mac(self):
+        width = 16
+        net = multiply_accumulate(width)
+        a = [RNG.getrandbits(width) for _ in range(COUNT)]
+        b = [RNG.getrandbits(width) for _ in range(COUNT)]
+        acc = [RNG.getrandbits(2 * width) for _ in range(COUNT)]
+        values = drive(
+            net, {"a": (a, width), "b": (b, width), "acc": (acc, 2 * width)}, COUNT
+        )
+        results = unpack_bus(values, "mac", 2 * width + 1, COUNT)
+        for i in range(COUNT):
+            assert results[i] == a[i] * b[i] + acc[i]
+
+
+class TestDividers:
+    def test_restoring_divider(self):
+        width = 18
+        net = restoring_divider(width)
+        a = [RNG.getrandbits(width) for _ in range(COUNT)]
+        b = [RNG.randint(1, (1 << width) - 1) for _ in range(COUNT)]
+        values = drive(net, {"a": (a, width), "b": (b, width)}, COUNT)
+        quotients = unpack_bus(values, "q", width, COUNT)
+        remainders = unpack_bus(values, "r", width, COUNT)
+        for i in range(COUNT):
+            assert quotients[i] == a[i] // b[i], f"{a[i]} / {b[i]}"
+            assert remainders[i] == a[i] % b[i]
+
+    def test_divider_exhaustive_small(self):
+        net = restoring_divider(4)
+        for a in range(16):
+            for b in range(1, 16):
+                values = drive(net, {"a": ([a], 4), "b": ([b], 4)}, 1)
+                assert unpack_bus(values, "q", 4, 1)[0] == a // b
+                assert unpack_bus(values, "r", 4, 1)[0] == a % b
+
+    def test_reciprocal(self):
+        width = 19
+        net = reciprocal(width)
+        xs = [RNG.randint(1, (1 << width) - 1) for _ in range(COUNT)]
+        values = drive(net, {"x": (xs, width)}, COUNT)
+        results = unpack_bus(values, "q", width, COUNT)
+        for i in range(COUNT):
+            assert results[i] == (1 << (width - 1)) // xs[i]
+
+    def test_reciprocal_identity_edge(self):
+        width = 19
+        net = reciprocal(width)
+        values = drive(net, {"x": ([1], width)}, 1)
+        assert unpack_bus(values, "q", width, 1)[0] == 1 << (width - 1)
+
+
+class TestSquareRoot:
+    @pytest.mark.parametrize("width", [8, 16, 32])
+    def test_square_root_random(self, width):
+        net = square_root(width)
+        ns = [RNG.getrandbits(width) for _ in range(COUNT)]
+        values = drive(net, {"n": (ns, width)}, COUNT)
+        roots = unpack_bus(values, "root", width // 2, COUNT)
+        for i in range(COUNT):
+            assert roots[i] == math.isqrt(ns[i]), ns[i]
+
+    def test_square_root_exhaustive_8bit(self):
+        net = square_root(8)
+        for n in range(256):
+            values = drive(net, {"n": ([n], 8)}, 1)
+            assert unpack_bus(values, "root", 4, 1)[0] == math.isqrt(n)
+
+    def test_square_root_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            square_root(7)
+
+    def test_perfect_squares(self):
+        net = square_root(16)
+        for root in (0, 1, 7, 100, 255):
+            values = drive(net, {"n": ([root * root], 16)}, 1)
+            assert unpack_bus(values, "root", 8, 1)[0] == root

@@ -1,0 +1,48 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD
+
+
+@pytest.fixture
+def mgr() -> BDD:
+    """A fresh manager with six variables a..f."""
+    return BDD(list("abcdef"))
+
+
+def all_assignments(names):
+    """Iterate over every assignment (dict name -> bool) of ``names``."""
+    names = list(names)
+    for values in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+def random_function(mgr: BDD, names, rng: random.Random, depth: int = 4) -> int:
+    """A random BDD built from a random expression tree over ``names``."""
+    if depth == 0 or rng.random() < 0.2:
+        leaf = rng.choice(list(names) + ["0", "1"])
+        if leaf == "0":
+            return mgr.ZERO
+        if leaf == "1":
+            return mgr.ONE
+        edge = mgr.var(leaf)
+        return edge ^ 1 if rng.random() < 0.5 else edge
+    op = rng.choice(["and", "or", "xor", "ite", "not"])
+    if op == "not":
+        return random_function(mgr, names, rng, depth - 1) ^ 1
+    left = random_function(mgr, names, rng, depth - 1)
+    right = random_function(mgr, names, rng, depth - 1)
+    if op == "and":
+        return mgr.and_(left, right)
+    if op == "or":
+        return mgr.or_(left, right)
+    if op == "xor":
+        return mgr.xor(left, right)
+    third = random_function(mgr, names, rng, depth - 1)
+    return mgr.ite(left, right, third)

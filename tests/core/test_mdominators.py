@@ -1,0 +1,91 @@
+"""Tests for the m-dominator search (paper Section III.B, Figure 1)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bdd import BDD
+from repro.bdd.substitute import function_at
+from repro.core import MDominatorConfig, find_m_dominators
+
+from ..conftest import random_function
+
+
+class TestFigureOne:
+    """The paper's Figure 1: BDD of F = ab + bc + ac has exactly one
+    non-trivial m-dominator, the node whose function is the last
+    variable in the order (node `a` in the paper's order c,b,a)."""
+
+    def test_paper_order_finds_bottom_literal(self):
+        mgr = BDD(["c", "b", "a"])
+        f = mgr.from_expr("a & b | b & c | a & c")
+        candidates = find_m_dominators(mgr, f)
+        assert len(candidates) == 1
+        assert function_at(mgr, candidates[0].node) == mgr.var("a")
+
+    def test_alphabetic_order_finds_bottom_literal(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.from_expr("a & b | b & c | a & c")
+        candidates = find_m_dominators(mgr, f)
+        assert len(candidates) == 1
+        assert function_at(mgr, candidates[0].node) == mgr.var("c")
+
+    def test_dominator_has_multiple_regular_inedges(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.from_expr("a & b | b & c | a & c")
+        (candidate,) = find_m_dominators(mgr, f)
+        assert candidate.regular_fanin >= 2
+
+
+class TestSelectionCriteria:
+    def test_constant_has_no_candidates(self, mgr):
+        assert find_m_dominators(mgr, mgr.ONE) == []
+
+    def test_root_excluded(self, mgr):
+        rng = random.Random(101)
+        for _ in range(20):
+            f = random_function(mgr, "abcd", rng)
+            if mgr.is_constant(f):
+                continue
+            for candidate in find_m_dominators(mgr, f):
+                assert candidate.node != f >> 1
+
+    def test_candidates_ranked_by_fanin(self, mgr):
+        rng = random.Random(103)
+        for _ in range(20):
+            f = random_function(mgr, "abcde", rng)
+            candidates = find_m_dominators(mgr, f)
+            fanins = [c.regular_fanin for c in candidates]
+            assert fanins == sorted(fanins, reverse=True)
+
+    def test_max_candidates_cap(self, mgr):
+        rng = random.Random(107)
+        config = MDominatorConfig(max_candidates=2)
+        for _ in range(10):
+            f = random_function(mgr, "abcdef", rng, depth=5)
+            assert len(find_m_dominators(mgr, f, config)) <= 2
+
+    def test_strict_fanin_filter(self, mgr):
+        config = MDominatorConfig(min_regular_fanin=3, relax_if_empty=False)
+        f = mgr.from_expr("a & b | b & c | a & c")
+        assert find_m_dominators(mgr, f, config) == []
+
+    def test_relaxation_recovers_candidates(self, mgr):
+        config = MDominatorConfig(min_regular_fanin=3, relax_if_empty=True)
+        f = mgr.from_expr("a & b | b & c | a & c")
+        assert find_m_dominators(mgr, f, config)
+
+    def test_simple_dominators_excluded_by_default(self, mgr):
+        """In F = (a^b) ^ c the node testing c is an x-dominator, so it
+        must not be offered as an m-dominator candidate."""
+        f = mgr.from_expr("(a ^ b) ^ c")
+        c_node = mgr.var("c") >> 1
+        candidates = find_m_dominators(mgr, f)
+        assert all(candidate.node != c_node for candidate in candidates)
+
+    def test_simple_dominator_exclusion_can_be_disabled(self, mgr):
+        config = MDominatorConfig(exclude_simple_dominators=False, min_regular_fanin=1)
+        f = mgr.from_expr("(a ^ b) ^ c")
+        c_node = mgr.var("c") >> 1
+        candidates = find_m_dominators(mgr, f, config)
+        assert any(candidate.node == c_node for candidate in candidates)

@@ -1,0 +1,170 @@
+"""Tests for factoring trees (interning, folding, counting, evaluation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BDD
+from repro.core import TreeBuilder, tree_from_bdd
+
+from ..conftest import all_assignments
+
+
+@pytest.fixture
+def builder():
+    return TreeBuilder()
+
+
+class TestInterning:
+    def test_constants_fixed_ids(self, builder):
+        assert builder.const(False) == TreeBuilder.CONST0
+        assert builder.const(True) == TreeBuilder.CONST1
+
+    def test_literals_interned(self, builder):
+        assert builder.literal("x") == builder.literal("x")
+        assert builder.literal("x") != builder.literal("y")
+
+    def test_commutative_sharing(self, builder):
+        a, b = builder.literal("a"), builder.literal("b")
+        assert builder.and_(a, b) == builder.and_(b, a)
+        assert builder.or_(a, b) == builder.or_(b, a)
+        assert builder.xor(a, b) == builder.xor(b, a)
+
+    def test_maj_children_sorted(self, builder):
+        a, b, c = (builder.literal(n) for n in "abc")
+        assert builder.maj(a, b, c) == builder.maj(c, a, b)
+
+    def test_structural_sharing_across_roots(self, builder):
+        a, b, c = (builder.literal(n) for n in "abc")
+        shared = builder.and_(a, b)
+        root1 = builder.or_(shared, c)
+        root2 = builder.xor(shared, c)
+        counts = builder.count_ops([root1, root2])
+        assert counts["and"] == 1  # shared subtree counted once
+
+
+class TestFolding:
+    def test_and_constants(self, builder):
+        a = builder.literal("a")
+        assert builder.and_(a, builder.CONST0) == builder.CONST0
+        assert builder.and_(a, builder.CONST1) == a
+        assert builder.and_(a, a) == a
+
+    def test_or_constants(self, builder):
+        a = builder.literal("a")
+        assert builder.or_(a, builder.CONST1) == builder.CONST1
+        assert builder.or_(a, builder.CONST0) == a
+
+    def test_xor_folds(self, builder):
+        a = builder.literal("a")
+        assert builder.xor(a, a) == builder.CONST0
+        assert builder.xor(a, builder.CONST0) == a
+        assert builder.xor(a, builder.CONST1) == builder.not_(a)
+
+    def test_double_negation(self, builder):
+        a = builder.literal("a")
+        assert builder.not_(builder.not_(a)) == a
+
+    def test_not_of_constants(self, builder):
+        assert builder.not_(builder.CONST0) == builder.CONST1
+        assert builder.not_(builder.CONST1) == builder.CONST0
+
+    def test_xor_with_negated_child_becomes_xnor(self, builder):
+        a, b = builder.literal("a"), builder.literal("b")
+        node = builder.xor(a, builder.not_(b))
+        assert builder.op(node) == "xnor"
+        assert builder.children(node) == tuple(sorted((a, b)))
+
+    def test_xnor_with_negated_child_becomes_xor(self, builder):
+        a, b = builder.literal("a"), builder.literal("b")
+        node = builder.xnor(builder.not_(a), b)
+        assert builder.op(node) == "xor"
+
+    def test_maj_folds(self, builder):
+        a, b = builder.literal("a"), builder.literal("b")
+        assert builder.maj(a, a, b) == a
+        assert builder.maj(builder.CONST0, a, b) == builder.and_(a, b)
+        assert builder.maj(builder.CONST1, a, b) == builder.or_(a, b)
+
+    def test_mux_expansion(self, builder):
+        s, t, e = (builder.literal(n) for n in "ste")
+        node = builder.mux(s, t, e)
+        assert builder.op(node) == "or"
+        for assignment in all_assignments("ste"):
+            expected = assignment["t"] if assignment["s"] else assignment["e"]
+            assert builder.eval(node, assignment) == expected
+
+    def test_mux_with_equal_branches(self, builder):
+        s, t = builder.literal("s"), builder.literal("t")
+        # or(and(s,t), and(~s,t)) does not fold structurally, but the
+        # constant branches must.
+        assert builder.mux(s, builder.CONST1, builder.CONST0) == s
+
+
+class TestEvaluation:
+    def test_full_adder_sum(self, builder):
+        a, b, cin = (builder.literal(n) for n in ("a", "b", "cin"))
+        total = builder.xor(builder.xor(a, b), cin)
+        for assignment in all_assignments(["a", "b", "cin"]):
+            expected = (assignment["a"] + assignment["b"] + assignment["cin"]) % 2
+            assert builder.eval(total, assignment) == bool(expected)
+
+    def test_maj_eval(self, builder):
+        a, b, c = (builder.literal(n) for n in "abc")
+        node = builder.maj(a, b, c)
+        for assignment in all_assignments("abc"):
+            expected = sum(assignment.values()) >= 2
+            assert builder.eval(node, assignment) == expected
+
+    def test_xnor_eval(self, builder):
+        a, b = builder.literal("a"), builder.literal("b")
+        node = builder.xnor(a, b)
+        for assignment in all_assignments("ab"):
+            assert builder.eval(node, assignment) == (assignment["a"] == assignment["b"])
+
+
+class TestAnalysis:
+    def test_count_ops_by_kind(self, builder):
+        a, b, c = (builder.literal(n) for n in "abc")
+        root = builder.maj(builder.xor(a, b), builder.and_(a, c), builder.or_(b, c))
+        counts = builder.count_ops([root])
+        assert counts == {"and": 1, "or": 1, "xor": 1, "xnor": 0, "maj": 1}
+
+    def test_inverters_not_counted(self, builder):
+        a, b = builder.literal("a"), builder.literal("b")
+        root = builder.and_(builder.not_(a), b)
+        counts = builder.count_ops([root])
+        assert sum(counts.values()) == 1
+
+    def test_depth(self, builder):
+        a, b, c, d = (builder.literal(n) for n in "abcd")
+        chain = builder.and_(builder.and_(builder.and_(a, b), c), d)
+        assert builder.depth(chain) == 3
+        assert builder.depth(a) == 0
+
+    def test_support(self, builder):
+        a, b = builder.literal("a"), builder.literal("b")
+        root = builder.xor(a, builder.not_(b))
+        assert builder.support(root) == {"a", "b"}
+
+    def test_to_expression_smoke(self, builder):
+        a, b, c = (builder.literal(n) for n in "abc")
+        root = builder.maj(a, builder.not_(b), c)
+        text = builder.to_expression(root)
+        assert "MAJ" in text and "~b" in text
+
+
+class TestTreeFromBdd:
+    def test_round_trip_equivalence(self):
+        mgr = BDD(["a", "b", "c", "d"])
+        builder = TreeBuilder()
+        f = mgr.from_expr("(a & b) ^ (c | ~d)")
+        root = tree_from_bdd(builder, mgr, f)
+        for assignment in all_assignments("abcd"):
+            assert builder.eval(root, assignment) == mgr.eval(f, assignment)
+
+    def test_constants(self):
+        mgr = BDD(["a"])
+        builder = TreeBuilder()
+        assert tree_from_bdd(builder, mgr, mgr.ONE) == builder.CONST1
+        assert tree_from_bdd(builder, mgr, mgr.ZERO) == builder.CONST0

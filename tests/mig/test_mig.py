@@ -1,0 +1,245 @@
+"""Tests for the MIG extension (structure, axioms, conversions)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import ripple_carry_adder
+from repro.core import TreeBuilder
+from repro.mig import (
+    Mig,
+    mig_to_network,
+    network_to_mig,
+    rewrite_depth,
+    rewrite_size,
+    trees_to_mig,
+)
+from repro.network import check_equivalence
+
+
+class TestMajAxioms:
+    def test_majority_axiom_duplicate(self):
+        mig = Mig()
+        a, b = mig.add_input("a"), mig.add_input("b")
+        assert mig.maj(a, a, b) == a
+
+    def test_majority_axiom_complement(self):
+        mig = Mig()
+        a, b = mig.add_input("a"), mig.add_input("b")
+        assert mig.maj(a, a ^ 1, b) == b
+
+    def test_commutativity_via_strash(self):
+        mig = Mig()
+        a, b, c = (mig.add_input(n) for n in "abc")
+        assert mig.maj(a, b, c) == mig.maj(c, a, b) == mig.maj(b, c, a)
+
+    def test_self_duality_canonicalization(self):
+        mig = Mig()
+        a, b, c = (mig.add_input(n) for n in "abc")
+        positive = mig.maj(a, b, c)
+        dual = mig.maj(a ^ 1, b ^ 1, c ^ 1)
+        assert dual == positive ^ 1
+        # Only one physical node was created for both polarities.
+        assert mig.size() == 0  # no outputs yet
+        mig.add_output("p", positive)
+        assert mig.size() == 1
+
+    def test_and_or_as_constant_majorities(self):
+        mig = Mig()
+        a, b = mig.add_input("a"), mig.add_input("b")
+        mig.add_output("and", mig.and_(a, b))
+        mig.add_output("or", mig.or_(a, b))
+        for va in (0, 1):
+            for vb in (0, 1):
+                values = mig.simulate({"a": va, "b": vb}, 1)
+                assert values["and"] == (va & vb)
+                assert values["or"] == (va | vb)
+
+    def test_xor_construction(self):
+        mig = Mig()
+        a, b = mig.add_input("a"), mig.add_input("b")
+        mig.add_output("x", mig.xor_(a, b))
+        for va in (0, 1):
+            for vb in (0, 1):
+                assert mig.simulate({"a": va, "b": vb}, 1)["x"] == (va ^ vb)
+
+    def test_maj_truth_table(self):
+        mig = Mig()
+        a, b, c = (mig.add_input(n) for n in "abc")
+        mig.add_output("m", mig.maj(a, b, c))
+        for vector in range(8):
+            stim = {"a": vector & 1, "b": vector >> 1 & 1, "c": vector >> 2 & 1}
+            expected = int(sum(stim.values()) >= 2)
+            assert mig.simulate(stim, 1)["m"] == expected
+
+    def test_duplicate_input_rejected(self):
+        mig = Mig()
+        mig.add_input("a")
+        with pytest.raises(ValueError):
+            mig.add_input("a")
+
+
+class TestAnalysis:
+    def test_size_and_depth(self):
+        mig = Mig()
+        a, b, c, d = (mig.add_input(n) for n in "abcd")
+        inner = mig.maj(a, b, c)
+        outer = mig.maj(inner, c, d)
+        mig.add_output("o", outer)
+        assert mig.size() == 2
+        assert mig.depth() == 2
+
+    def test_cleanup_drops_dead_nodes(self):
+        mig = Mig()
+        a, b, c = (mig.add_input(n) for n in "abc")
+        kept = mig.maj(a, b, c)
+        mig.maj(a, b ^ 1, c)  # dead
+        mig.add_output("o", kept)
+        assert mig.cleanup().size() == 1
+
+    def test_inverters_are_free(self):
+        mig = Mig()
+        a, b, c = (mig.add_input(n) for n in "abc")
+        mig.add_output("o", mig.maj(a ^ 1, b, c) ^ 1)
+        assert mig.depth() == 1
+
+
+class TestConversions:
+    def test_network_round_trip(self):
+        net = ripple_carry_adder(4)
+        mig = network_to_mig(net)
+        back = mig_to_network(mig, name=net.name)
+        assert check_equivalence(net, back).equivalent
+
+    def test_adder_carry_chain_is_compact(self):
+        """An n-bit ripple adder's MIG stays linear in n: one native
+        MAJ per carry plus 3 majorities per XOR (2 XORs per bit) —
+        ~7 nodes/bit before sharing."""
+        net = ripple_carry_adder(8)
+        mig = network_to_mig(net)
+        assert mig.size() <= 7 * 8
+        # Carries map to single majority nodes (not OR-of-AND trees):
+        # the whole 8-bit adder fits in depth ~ bits + xor overhead.
+        assert mig.depth() <= 2 * 8
+
+    def test_trees_to_mig_preserves_maj_nodes(self):
+        builder = TreeBuilder()
+        a, b, c = (builder.literal(n) for n in "abc")
+        root = builder.maj(a, builder.not_(b), c)
+        mig = trees_to_mig(builder, {"f": root}, ["a", "b", "c"])
+        assert mig.size() == 1
+        for vector in range(8):
+            stim = {"a": vector & 1, "b": vector >> 1 & 1, "c": vector >> 2 & 1}
+            expected = int(stim["a"] + (1 - stim["b"]) + stim["c"] >= 2)
+            assert mig.simulate(stim, 1)["f"] == expected
+
+    def test_trees_to_mig_all_ops(self):
+        builder = TreeBuilder()
+        a, b, c = (builder.literal(n) for n in "abc")
+        root = builder.or_(
+            builder.xor(a, b),
+            builder.and_(builder.xnor(b, c), builder.not_(a)),
+        )
+        mig = trees_to_mig(builder, {"f": root}, ["a", "b", "c"])
+        for vector in range(8):
+            stim = {"a": vector & 1, "b": vector >> 1 & 1, "c": vector >> 2 & 1}
+            assert mig.simulate(stim, 1)["f"] == builder.eval(root, stim)
+
+    def test_constant_outputs(self):
+        mig = Mig()
+        mig.add_input("a")
+        mig.add_output("one", Mig.ONE)
+        mig.add_output("zero", Mig.ZERO)
+        net = mig_to_network(mig)
+        values = net.simulate({"a": 0}, 1)
+        assert values == {"one": 1, "zero": 0}
+
+
+def random_mig(seed: int, num_inputs: int = 6, num_nodes: int = 40) -> Mig:
+    rng = random.Random(seed)
+    mig = Mig()
+    pool = [mig.add_input(f"x{i}") for i in range(num_inputs)]
+    for _ in range(num_nodes):
+        a, b, c = rng.sample(pool, 3)
+        pool.append(
+            mig.maj(a ^ rng.getrandbits(1), b ^ rng.getrandbits(1), c ^ rng.getrandbits(1))
+        )
+    for index in range(4):
+        mig.add_output(f"y{index}", pool[-(index + 1)] ^ rng.getrandbits(1))
+    return mig
+
+
+def migs_equivalent(left: Mig, right: Mig, vectors: int = 128) -> bool:
+    rng = random.Random(5)
+    mask = (1 << vectors) - 1
+    stimulus = {name: rng.getrandbits(vectors) for name in left.inputs}
+    return left.simulate(stimulus, mask) == right.simulate(stimulus, mask)
+
+
+class TestRewriting:
+    def test_rewrite_size_preserves_function(self):
+        for seed in range(6):
+            mig = random_mig(seed)
+            assert migs_equivalent(mig, rewrite_size(mig))
+
+    def test_rewrite_depth_preserves_function(self):
+        for seed in range(6):
+            mig = random_mig(seed + 50)
+            assert migs_equivalent(mig, rewrite_depth(mig)), f"seed {seed}"
+
+    def test_rewrite_depth_never_deepens(self):
+        for seed in range(6):
+            mig = random_mig(seed + 100, num_nodes=60)
+            assert rewrite_depth(mig).depth() <= mig.depth()
+
+    def test_associativity_chain_gets_shallower(self):
+        """A linear Maj(u, x_i, .) chain must rebalance."""
+        mig = Mig()
+        u = mig.add_input("u")
+        xs = [mig.add_input(f"x{i}") for i in range(8)]
+        chain = xs[0]
+        for x in xs[1:]:
+            chain = mig.maj(x, u, chain)
+        mig.add_output("o", chain)
+        rewritten = rewrite_depth(mig, passes=6)
+        assert rewritten.depth() <= mig.depth()
+        assert migs_equivalent(mig, rewritten)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    tables=st.tuples(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+)
+def test_property_mig_maj_matches_boolean_majority(tables):
+    """Maj over arbitrary sub-functions == bitwise majority."""
+    mig = Mig()
+    names = ["a", "b", "c"]
+    literals = [mig.add_input(n) for n in names]
+
+    def from_table(table: int) -> int:
+        acc = Mig.ZERO
+        for row in range(8):
+            if table >> row & 1:
+                term = Mig.ONE
+                for j, literal in enumerate(literals):
+                    bit = row >> j & 1
+                    term = mig.and_(term, literal if bit else literal ^ 1)
+                acc = mig.or_(acc, term)
+        return acc
+
+    f, g, h = (from_table(t) for t in tables)
+    mig.add_output("m", mig.maj(f, g, h))
+    for row in range(8):
+        stim = {name: row >> j & 1 for j, name in enumerate(names)}
+        fv = tables[0] >> row & 1
+        gv = tables[1] >> row & 1
+        hv = tables[2] >> row & 1
+        assert mig.simulate(stim, 1)["m"] == int(fv + gv + hv >= 2)

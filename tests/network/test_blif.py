@@ -1,0 +1,153 @@
+"""Tests for BLIF parsing and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import BlifError, LogicNetwork, parse_blif, to_blif
+
+SAMPLE = """
+# full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b t
+10 1
+01 1
+.names t cin sum
+10 1
+01 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        net = parse_blif(SAMPLE)
+        assert net.name == "fa"
+        assert net.inputs == ("a", "b", "cin")
+        assert net.outputs == ("sum", "cout")
+        assert net.num_nodes == 3
+
+    def test_parsed_function_correct(self):
+        net = parse_blif(SAMPLE)
+        for vector in range(8):
+            stimulus = {
+                "a": vector & 1,
+                "b": vector >> 1 & 1,
+                "cin": vector >> 2 & 1,
+            }
+            total = sum(stimulus.values())
+            values = net.simulate(stimulus, 1)
+            assert values["sum"] == total % 2
+            assert values["cout"] == int(total >= 2)
+
+    def test_output_zero_rows(self):
+        text = """
+.model inv
+.inputs a b
+.outputs n
+.names a b n
+11 0
+.end
+"""
+        net = parse_blif(text)
+        assert net.node("n").inverted
+        assert net.simulate({"a": 1, "b": 1}, 1)["n"] == 0
+        assert net.simulate({"a": 0, "b": 1}, 1)["n"] == 1
+
+    def test_constant_nodes(self):
+        text = """
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+"""
+        net = parse_blif(text)
+        values = net.simulate({"a": 0}, 2)
+        assert values["one"] == 0b11
+        assert values["zero"] == 0
+
+    def test_continuation_lines(self):
+        text = (
+            ".model cont\n.inputs a b \\\nc\n.outputs o\n"
+            ".names a b c o\n111 1\n.end\n"
+        )
+        net = parse_blif(text)
+        assert net.inputs == ("a", "b", "c")
+
+    def test_mixed_polarity_rejected(self):
+        text = """
+.model bad
+.inputs a
+.outputs n
+.names a n
+1 1
+0 0
+.end
+"""
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_latch_rejected(self):
+        text = ".model seq\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_row_outside_names_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model x\n.inputs a\n11 1\n.end\n")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model x\n.inputs a\n.outputs n\n.names a n\n11 1\n.end\n")
+
+
+class TestRoundTrip:
+    def test_write_then_parse_preserves_function(self):
+        net = parse_blif(SAMPLE)
+        text = to_blif(net)
+        reparsed = parse_blif(text)
+        assert reparsed.inputs == net.inputs
+        assert reparsed.outputs == net.outputs
+        for vector in range(8):
+            stimulus = {
+                "a": vector & 1,
+                "b": vector >> 1 & 1,
+                "cin": vector >> 2 & 1,
+            }
+            assert net.simulate(stimulus, 1) == reparsed.simulate(stimulus, 1)
+
+    def test_inverted_and_constant_round_trip(self):
+        net = LogicNetwork("edge_cases")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_nand("n", "a", "b")
+        net.add_const("k1", True)
+        net.add_const("k0", False)
+        net.add_and("o", "n", "k1")
+        net.add_output("o")
+        net.add_output("k0")
+        reparsed = parse_blif(to_blif(net))
+        for vector in range(4):
+            stimulus = {"a": vector & 1, "b": vector >> 1 & 1}
+            assert net.simulate(stimulus, 1) == reparsed.simulate(stimulus, 1)
+
+    def test_long_input_list_wraps(self):
+        net = LogicNetwork("wide")
+        names = [f"in_{i}" for i in range(40)]
+        for name in names:
+            net.add_input(name)
+        net.add_or("o", *names)
+        net.add_output("o")
+        text = to_blif(net)
+        assert any(line.endswith("\\") for line in text.splitlines())
+        reparsed = parse_blif(text)
+        assert reparsed.inputs == tuple(names)

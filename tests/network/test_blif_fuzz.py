@@ -1,0 +1,77 @@
+"""Property-based fuzzing of the BLIF round trip.
+
+Hypothesis generates random small networks; writing them to BLIF and
+parsing the text back must reproduce the interface and the function
+exactly (checked by exhaustive simulation).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import LogicNetwork, exhaustive_equivalent, parse_blif, to_blif
+
+
+@st.composite
+def random_networks(draw):
+    num_inputs = draw(st.integers(min_value=1, max_value=5))
+    network = LogicNetwork("fuzz")
+    signals = [network.add_input(f"i{i}") for i in range(num_inputs)]
+    num_nodes = draw(st.integers(min_value=1, max_value=8))
+    for index in range(num_nodes):
+        arity = draw(st.integers(min_value=0, max_value=min(3, len(signals))))
+        fanins = draw(
+            st.lists(
+                st.sampled_from(signals),
+                min_size=arity,
+                max_size=arity,
+                unique=True,
+            )
+        )
+        max_rows = min(4, 3 ** len(fanins))
+        num_rows = draw(st.integers(min_value=0, max_value=max_rows))
+        rows = draw(
+            st.lists(
+                st.text(alphabet="01-", min_size=len(fanins), max_size=len(fanins)),
+                min_size=num_rows,
+                max_size=num_rows,
+                unique=True,
+            )
+        )
+        inverted = draw(st.booleans())
+        name = f"n{index}"
+        network.add_node(name, tuple(fanins), tuple(rows), inverted)
+        signals.append(name)
+    # Choose at least one output among the created nodes.
+    available = len(signals) - num_inputs
+    num_outputs = draw(st.integers(min_value=1, max_value=min(3, available)))
+    outputs = draw(
+        st.lists(
+            st.sampled_from(signals[num_inputs:]),
+            min_size=num_outputs,
+            max_size=num_outputs,
+            unique=True,
+        )
+    )
+    for name in outputs:
+        network.add_output(name)
+    return network
+
+
+@settings(max_examples=120, deadline=None)
+@given(network=random_networks())
+def test_property_blif_round_trip(network):
+    text = to_blif(network)
+    reparsed = parse_blif(text)
+    assert reparsed.inputs == network.inputs
+    assert set(reparsed.outputs) == set(network.outputs)
+    assert exhaustive_equivalent(network, reparsed).equivalent
+
+
+@settings(max_examples=60, deadline=None)
+@given(network=random_networks())
+def test_property_double_round_trip_stable(network):
+    once = to_blif(parse_blif(to_blif(network)))
+    twice = to_blif(parse_blif(once))
+    assert once == twice

@@ -1,0 +1,196 @@
+"""Tests for equivalence checking, BDD bridging and partitioning."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network import (
+    BddSizeExceeded,
+    LogicNetwork,
+    NetworkError,
+    PartitionConfig,
+    bdd_equivalent,
+    check_equivalence,
+    cover_to_bdd,
+    exhaustive_equivalent,
+    global_bdds,
+    partition,
+    partition_statistics,
+    partition_with_bdds,
+    random_equivalent,
+)
+from repro.bdd import BDD
+
+
+def ripple_adder(bits: int, name: str = "rca") -> LogicNetwork:
+    net = LogicNetwork(name)
+    for i in range(bits):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    carry = None
+    for i in range(bits):
+        a, b = f"a{i}", f"b{i}"
+        if carry is None:
+            net.add_xor(f"s{i}", a, b)
+            carry = net.add_and(f"c{i}", a, b)
+        else:
+            net.add_xor(f"p{i}", a, b)
+            net.add_xor(f"s{i}", f"p{i}", carry)
+            carry = net.add_maj(f"c{i}", a, b, carry)
+        net.add_output(f"s{i}")
+    net.add_output(carry)
+    return net
+
+
+def buggy_adder(bits: int) -> LogicNetwork:
+    net = ripple_adder(bits, name="buggy")
+    # Corrupt the top sum bit: OR instead of XOR.
+    top = bits - 1
+    fanins = net.node(f"s{top}").fanins
+    net.replace_node(f"s{top}", fanins, ("1-", "-1"))
+    return net
+
+
+class TestCoverToBdd:
+    def test_cover_matches_simulation(self):
+        mgr = BDD(["a", "b", "c"])
+        net = LogicNetwork()
+        for name in "abc":
+            net.add_input(name)
+        net.add_maj("m", "a", "b", "c")
+        node = net.node("m")
+        edge = cover_to_bdd(mgr, node, [mgr.var(n) for n in "abc"])
+        assert edge == mgr.from_expr("a & b | b & c | a & c")
+
+    def test_inverted_cover(self):
+        mgr = BDD(["a", "b"])
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_nand("n", "a", "b")
+        edge = cover_to_bdd(mgr, net.node("n"), [mgr.var("a"), mgr.var("b")])
+        assert edge == mgr.from_expr("~(a & b)")
+
+
+class TestGlobalBdds:
+    def test_adder_outputs(self):
+        net = ripple_adder(3)
+        mgr, roots = global_bdds(net)
+        # Spot-check: s0 = a0 xor b0.
+        assert roots["s0"] == mgr.from_expr("a0 ^ b0")
+
+    def test_size_budget_enforced(self):
+        net = ripple_adder(8)
+        with pytest.raises(BddSizeExceeded):
+            global_bdds(net, max_nodes=10)
+
+
+class TestEquivalence:
+    def test_exhaustive_detects_equality(self):
+        left = ripple_adder(3)
+        right = ripple_adder(3)
+        result = exhaustive_equivalent(left, right)
+        assert result.equivalent
+        assert result.method == "exhaustive"
+
+    def test_exhaustive_detects_bug_with_counterexample(self):
+        left = ripple_adder(3)
+        right = buggy_adder(3)
+        result = exhaustive_equivalent(left, right)
+        assert not result.equivalent
+        assert result.counterexample is not None
+        # The counterexample must really distinguish the two networks.
+        stimulus = result.counterexample
+        assert left.simulate(stimulus, 1) != right.simulate(stimulus, 1)
+
+    def test_random_detects_bug(self):
+        left = ripple_adder(9)  # 18 inputs: beyond exhaustive default
+        right = buggy_adder(9)
+        result = random_equivalent(left, right, vectors=512)
+        assert not result.equivalent
+
+    def test_bdd_equivalence(self):
+        left = ripple_adder(4)
+        right = ripple_adder(4)
+        assert bdd_equivalent(left, right).equivalent
+        assert not bdd_equivalent(left, buggy_adder(4)).equivalent
+
+    def test_check_dispatches_on_width(self):
+        small = ripple_adder(3)
+        assert check_equivalence(small, ripple_adder(3)).method == "exhaustive"
+        large = ripple_adder(10)
+        assert check_equivalence(large, ripple_adder(10)).method == "random"
+
+    def test_interface_mismatch_rejected(self):
+        with pytest.raises(NetworkError):
+            check_equivalence(ripple_adder(3), ripple_adder(4))
+
+
+class TestPartition:
+    def test_every_node_covered(self):
+        net = ripple_adder(6)
+        supernodes = partition(net)
+        covered = set()
+        for supernode in supernodes:
+            covered |= supernode.members
+        assert covered == set(net.node_names)
+
+    def test_outputs_have_supernodes(self):
+        net = ripple_adder(6)
+        outputs = {s.output for s in partition(net)}
+        assert set(net.outputs) <= outputs
+
+    def test_support_budget_respected(self):
+        net = ripple_adder(8)
+        config = PartitionConfig(max_support=6)
+        for supernode in partition(net, config):
+            assert len(supernode.inputs) <= 6
+
+    def test_partition_closure_and_equivalence(self):
+        """Rebuilding the network from supernode BDDs must reproduce the
+        original functions — the partition is only a re-grouping."""
+        net = ripple_adder(5)
+        entries = partition_with_bdds(net)
+        emitted = set(net.inputs) | {s.output for s, _, _ in entries}
+        for supernode, _, _ in entries:
+            for signal in supernode.inputs:
+                assert signal in emitted, f"unresolved boundary {signal!r}"
+        # Evaluate supernode BDDs in topological order on random vectors.
+        rng = random.Random(7)
+        for _ in range(64):
+            stimulus = {name: rng.getrandbits(1) for name in net.inputs}
+            reference = net.simulate_all(stimulus, 1)
+            values = {name: bool(stimulus[name]) for name in net.inputs}
+            for supernode, mgr, root in entries:
+                values[supernode.output] = mgr.eval(
+                    root, {sig: values[sig] for sig in supernode.inputs}
+                )
+            for output in net.outputs:
+                assert values[output] == bool(reference[output])
+
+    def test_oversized_cluster_demoted(self):
+        net = ripple_adder(6)
+        config = PartitionConfig(max_support=12, max_bdd_nodes=3)
+        entries = partition_with_bdds(net, config)
+        # With a 3-node budget almost everything is singleton; the
+        # closure property must still hold.
+        emitted = set(net.inputs) | {s.output for s, _, _ in entries}
+        for supernode, _, _ in entries:
+            for signal in supernode.inputs:
+                assert signal in emitted
+
+    def test_statistics(self):
+        net = ripple_adder(6)
+        supernodes = partition(net)
+        stats = partition_statistics(net, supernodes)
+        assert stats["supernodes"] == len(supernodes)
+        assert stats["max_support"] <= PartitionConfig().max_support
+
+    def test_partition_reduces_supernode_count(self):
+        """Partial collapse must actually collapse: far fewer supernodes
+        than nodes on a ripple-carry adder."""
+        net = ripple_adder(8)
+        supernodes = partition(net)
+        assert len(supernodes) < net.num_nodes

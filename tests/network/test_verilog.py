@@ -1,0 +1,62 @@
+"""Tests for the structural Verilog writer."""
+
+from __future__ import annotations
+
+from repro.benchgen import ripple_carry_adder
+from repro.network import LogicNetwork, to_verilog
+
+
+class TestVerilogWriter:
+    def test_module_skeleton(self):
+        net = ripple_carry_adder(2, name="adder2")
+        text = to_verilog(net)
+        assert text.startswith("module adder2 (")
+        assert text.rstrip().endswith("endmodule")
+        assert "input a0, a1, b0, b1;" in text
+        assert "output" in text
+
+    def test_every_node_assigned(self):
+        net = ripple_carry_adder(3)
+        text = to_verilog(net)
+        for name in net.node_names:
+            assert f"assign {name} =" in text
+
+    def test_gate_expressions(self):
+        net = LogicNetwork("gates")
+        for name in "abc":
+            net.add_input(name)
+        net.add_and("g_and", "a", "b")
+        net.add_or("g_or", "a", "b")
+        net.add_xor("g_xor", "a", "b")
+        net.add_nand("g_nand", "a", "b")
+        net.add_not("g_not", "a")
+        net.add_maj("g_maj", "a", "b", "c")
+        net.add_const("g_one", True)
+        net.add_const("g_zero", False)
+        for name in list(net.node_names):
+            net.add_output(name)
+        text = to_verilog(net)
+        assert "assign g_and = (a & b);" in text
+        assert "assign g_or = a | b;" in text
+        assert "assign g_xor = (a & ~b) | (~a & b);" in text
+        assert "assign g_nand = ~((a & b));" in text
+        assert "assign g_not = ~a;" in text
+        assert "assign g_maj = (a & b) | (a & c) | (b & c);" in text
+        assert "assign g_one = 1'b1;" in text
+        assert "assign g_zero = 1'b0;" in text
+
+    def test_escaped_identifiers(self):
+        net = LogicNetwork("esc")
+        net.add_input("weird.name")
+        net.add_buf("ok_name", "weird.name")
+        net.add_output("ok_name")
+        text = to_verilog(net)
+        assert "\\weird.name " in text
+
+    def test_wire_declarations_exclude_outputs(self):
+        net = ripple_carry_adder(2)
+        text = to_verilog(net)
+        wire_lines = [l for l in text.splitlines() if l.strip().startswith("wire")]
+        declared = " ".join(wire_lines)
+        for output in net.outputs:
+            assert f" {output}," not in declared and not declared.endswith(output + ";")

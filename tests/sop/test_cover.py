@@ -1,0 +1,117 @@
+"""Tests for the positional-cover two-level minimizer."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import (
+    count_literals,
+    cover_is_tautology,
+    cube_covered,
+    simplify_cover,
+)
+
+
+def eval_cover(cover, assignment) -> bool:
+    for row in cover:
+        if all(ch == "-" or bool(int(ch)) == bit for ch, bit in zip(row, assignment)):
+            return True
+    return False
+
+
+class TestTautology:
+    def test_empty_cover(self):
+        assert not cover_is_tautology([])
+
+    def test_full_dontcare_row(self):
+        assert cover_is_tautology(["--"])
+
+    def test_complementary_pair(self):
+        assert cover_is_tautology(["1-", "0-"])
+
+    def test_three_var_tautology(self):
+        assert cover_is_tautology(["1--", "01-", "001", "000"])
+
+    def test_not_tautology(self):
+        assert not cover_is_tautology(["11", "00"])
+
+    def test_unate_non_tautology(self):
+        assert not cover_is_tautology(["1-", "-1"])
+
+
+class TestCubeCovered:
+    def test_direct_containment(self):
+        assert cube_covered("11", ["1-"])
+
+    def test_split_containment(self):
+        assert cube_covered("1-", ["11", "10"])
+
+    def test_not_covered(self):
+        assert not cube_covered("11", ["10", "01"])
+
+
+class TestSimplify:
+    def test_removes_contained_cube(self):
+        assert simplify_cover(["11", "1-"]) == ("1-",)
+
+    def test_merges_adjacent(self):
+        assert simplify_cover(["10", "11"]) == ("1-",)
+
+    def test_collapses_tautology(self):
+        assert simplify_cover(["1-", "0-"]) == ("--",)
+
+    def test_removes_redundant_consensus_cube(self):
+        # ab + a'c + bc: the consensus cube bc is redundant.
+        result = simplify_cover(["11-", "0-1", "-11"])
+        assert len(result) == 2
+
+    def test_empty(self):
+        assert simplify_cover([]) == ()
+
+    def test_preserves_function_exhaustively(self):
+        covers = [
+            ["11-", "0-1", "-11"],
+            ["101", "100", "011", "111"],
+            ["1--", "-1-", "--1"],
+            ["110", "101", "011"],
+        ]
+        for cover in covers:
+            simplified = simplify_cover(cover)
+            for assignment in itertools.product([False, True], repeat=3):
+                assert eval_cover(cover, assignment) == eval_cover(
+                    simplified, assignment
+                ), (cover, simplified, assignment)
+
+    def test_never_grows_literals(self):
+        cover = ["1100", "1101", "1110", "1111", "0011"]
+        simplified = simplify_cover(cover)
+        assert count_literals(simplified) <= count_literals(cover)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    rows=st.lists(
+        st.text(alphabet="01-", min_size=3, max_size=3), min_size=0, max_size=8
+    )
+)
+def test_property_simplify_preserves_function(rows):
+    simplified = simplify_cover(rows)
+    for assignment in itertools.product([False, True], repeat=3):
+        assert eval_cover(rows, assignment) == eval_cover(simplified, assignment)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    rows=st.lists(
+        st.text(alphabet="01-", min_size=4, max_size=4), min_size=1, max_size=10
+    )
+)
+def test_property_tautology_matches_enumeration(rows):
+    expected = all(
+        eval_cover(rows, assignment)
+        for assignment in itertools.product([False, True], repeat=4)
+    )
+    assert cover_is_tautology(rows) == expected
