@@ -1,0 +1,67 @@
+"""Benchmark harness for the parallel batch-synthesis service.
+
+Times one full batch over the Table-I MCNC circuits at 1 and 4 workers
+(the acceptance comparison for the throughput layer) and attaches the
+unified op-cache hit rates per circuit as extra_info.  A final check
+asserts the service's determinism contract: the serialized report must
+be byte-identical regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.registry import benchmark_keys
+from repro.flows import BatchConfig, run_batch
+
+from conftest import run_once
+
+#: The paper's MCNC rows — the suite the batch acceptance criterion uses.
+MCNC_KEYS = benchmark_keys("mcnc")
+
+#: Serialized reports per worker count, compared by the determinism check.
+_REPORTS: dict[int, str] = {}
+
+
+def _run(workers: int):
+    return run_batch(MCNC_KEYS, BatchConfig(flow="bds-maj", workers=workers))
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def bench_batch_mcnc(benchmark, workers):
+    report = run_once(benchmark, _run, workers)
+    _REPORTS[workers] = report.to_json()
+    summary = report.summary()
+    benchmark.extra_info.update(
+        workers=workers,
+        circuits=summary["circuits"],
+        ok=summary["ok"],
+        total_nodes=summary["total_nodes"],
+        cache_hit_rate=round(summary["cache_hit_rate"], 4),
+        elapsed_seconds=round(report.elapsed_seconds, 3),
+        summed_synthesis_seconds=round(report.total_seconds, 3),
+        per_circuit_hit_rates={
+            c.benchmark: round(float(c.cache["hit_rate"]), 4)
+            for c in report.ok_circuits
+        },
+    )
+    assert summary["failed"] == 0
+
+
+def bench_batch_determinism_check(benchmark):
+    """Byte-identical reports for 1 vs 4 workers (runs the missing
+    configuration itself if the parametrized runs were filtered out)."""
+
+    def check():
+        for workers in (1, 4):
+            if workers not in _REPORTS:
+                _REPORTS[workers] = _run(workers).to_json()
+        return _REPORTS[1] == _REPORTS[4]
+
+    assert run_once(benchmark, check)
+
+
+# pytest-benchmark collects functions named test_* too; use test_ alias
+# so plain `pytest benchmarks/` discovers the harness.
+test_batch_mcnc = bench_batch_mcnc
+test_batch_determinism_check = bench_batch_determinism_check

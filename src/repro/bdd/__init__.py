@@ -26,7 +26,15 @@ from .dominators import (
     xor_split,
 )
 from .dot import to_dot
-from .manager import BDD, BDDError, TERMINAL_LEVEL, maj3
+from .manager import (
+    BDD,
+    BDDError,
+    DEFAULT_CACHE_CAPACITY,
+    OperationCache,
+    TERMINAL_LEVEL,
+    combine_cache_stats,
+    maj3,
+)
 from .isop import bdd_isop, isop_cover_rows
 from .quantify import count_paths, exists, forall, iter_cubes
 from .reorder import reorder, sift
@@ -45,8 +53,10 @@ __all__ = [
     "BDD",
     "BDDError",
     "CareSetError",
+    "DEFAULT_CACHE_CAPACITY",
     "DominatorDecomposition",
     "EdgeStatistics",
+    "OperationCache",
     "KIND_AND",
     "KIND_OR",
     "KIND_XOR",
@@ -57,6 +67,7 @@ __all__ = [
     "bdd_isop",
     "best_simple_decomposition",
     "classify_cut_node",
+    "combine_cache_stats",
     "constrain",
     "count_paths",
     "cut_nodes",

@@ -29,9 +29,98 @@ from typing import Iterable, Iterator, Mapping, Sequence
 #: Level assigned to the terminal node; deeper than any real variable.
 TERMINAL_LEVEL = 1 << 30
 
+#: Default bound on the number of memoized operation results per manager.
+DEFAULT_CACHE_CAPACITY = 1 << 18
+
+# Operation tags for the unified cache keys.  Small ints keep the key
+# tuples compact and hash deterministically (no string hashing, so the
+# cache behaves identically across processes regardless of
+# PYTHONHASHSEED — a requirement of the deterministic batch service).
+_OP_ITE = 0
+_OP_COFACTOR = 1
+_OP_EXISTS = 2
+
 
 class BDDError(Exception):
     """Raised for invalid BDD operations (unknown variable, bad edge...)."""
+
+
+class OperationCache:
+    """Size-bounded memo table shared by every BDD operator.
+
+    One keyed dict serves ``ite``, ``cofactor`` and ``exists``; entries
+    are ``(op_tag, operands...) -> result_edge``.  When the bound is
+    reached the oldest entry is evicted (FIFO over dict insertion
+    order), which is deterministic for a given operation sequence —
+    unlike an LRU keyed on access time, FIFO gives byte-identical
+    hit/miss/eviction counts for identical workloads.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: dict[tuple, int] = {}
+
+    def get(self, key: tuple) -> int | None:
+        result = self._data.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: tuple, value: int) -> None:
+        data = self._data
+        if key not in data and len(data) >= self.capacity:
+            del data[next(iter(data))]
+            self.evictions += 1
+        data[key] = value
+
+    def clear(self) -> None:
+        """Drop all entries; counters keep accumulating."""
+        self._data.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict[str, int | float]:
+        result = combine_cache_stats(
+            [{"hits": self.hits, "misses": self.misses, "evictions": self.evictions}]
+        )
+        result["entries"] = len(self._data)
+        result["capacity"] = self.capacity
+        return result
+
+
+def combine_cache_stats(
+    stats: Iterable[Mapping[str, int | float]],
+) -> dict[str, int | float]:
+    """Sum hits/misses/evictions over ``stats`` dicts and derive the
+    hit rate — the one place that aggregation rule lives (the trace,
+    batch and table layers all report through it)."""
+    hits = misses = evictions = 0
+    for entry in stats:
+        hits += int(entry.get("hits", 0))
+        misses += int(entry.get("misses", 0))
+        evictions += int(entry.get("evictions", 0))
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "evictions": evictions,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
 
 
 class BDD:
@@ -53,18 +142,41 @@ class BDD:
     #: Edge handle of constant FALSE.
     ZERO = 1
 
-    def __init__(self, var_names: Iterable[str] = ()) -> None:
+    def __init__(
+        self,
+        var_names: Iterable[str] = (),
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
         # Node store (parallel arrays, index = node id).  Node 0 is the
         # terminal; its high/low entries are never read.
         self._level: list[int] = [TERMINAL_LEVEL]
         self._high: list[int] = [0]
         self._low: list[int] = [0]
         self._unique: dict[tuple[int, int, int], int] = {}
-        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._cache = OperationCache(cache_capacity)
+        # Per-top-level-call memo overlay for ite (see the comment in
+        # :meth:`cofactor`): None outside a call, a dict inside one.
+        self._ite_overlay: dict[tuple, int] | None = None
         self._names: list[str] = []
         self._level_by_name: dict[str, int] = {}
         for name in var_names:
             self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Operation-cache introspection
+    # ------------------------------------------------------------------
+    @property
+    def op_cache(self) -> OperationCache:
+        """The unified operation cache (ite/cofactor/exists share it)."""
+        return self._cache
+
+    def cache_stats(self) -> dict[str, int | float]:
+        """Hit/miss/eviction counters and occupancy of the op cache."""
+        return self._cache.stats()
+
+    def clear_caches(self) -> None:
+        """Drop memoized operation results (the unique table stays)."""
+        self._cache.clear()
 
     # ------------------------------------------------------------------
     # Variable management
@@ -208,6 +320,30 @@ class BDD:
             return f ^ 1
         if g == h:
             return g
+        # Standard-triple normalization (Brace/Rudell/Bryant): when one
+        # operand is constant or the complement of another, the call is
+        # a commutative two-operand gate — rewrite it so the operand
+        # with the smaller node index drives, collapsing equivalent
+        # calls onto a single cache entry:
+        #   ITE(f,1,h) = ITE(h,1,f)          (OR commutes)
+        #   ITE(f,0,h) = ITE(h',0,f')        (NOR-shape commutes)
+        #   ITE(f,g,0) = ITE(g,f,0)          (AND commutes)
+        #   ITE(f,g,1) = ITE(g',f',1)        (implication contraposes)
+        #   ITE(f,g,g') = ITE(g,f,f')        (XNOR commutes)
+        if g == self.ONE:
+            if (h >> 1) < (f >> 1):
+                f, h = h, f
+        elif g == self.ZERO:
+            if (h >> 1) < (f >> 1):
+                f, h = h ^ 1, f ^ 1
+        elif h == self.ZERO:
+            if (g >> 1) < (f >> 1):
+                f, g = g, f
+        elif h == self.ONE:
+            if (g >> 1) < (f >> 1):
+                f, g = g ^ 1, f ^ 1
+        elif h == g ^ 1 and (g >> 1) < (f >> 1):
+            f, g, h = g, f, f ^ 1
         # Canonicalize: predicate regular, then then-branch regular.
         if f & 1:
             f ^= 1
@@ -217,18 +353,34 @@ class BDD:
             g ^= 1
             h ^= 1
             negate_out = True
-        key = (f, g, h)
-        result = self._ite_cache.get(key)
-        if result is None:
-            levels = self._level
-            top = min(levels[f >> 1], levels[g >> 1], levels[h >> 1])
-            f1, f0 = self._cofactors(f, top)
-            g1, g0 = self._cofactors(g, top)
-            h1, h0 = self._cofactors(h, top)
-            then_edge = self.ite(f1, g1, h1)
-            else_edge = self.ite(f0, g0, h0)
-            result = self._mk(top, then_edge, else_edge)
-            self._ite_cache[key] = result
+        # Per-call overlay: even if the shared FIFO cache is smaller
+        # than this call's working set and evicts subresults mid-
+        # recursion, every distinct subtriple is still computed at most
+        # once per top-level call (the old unbounded cache's guarantee).
+        key = (_OP_ITE, f, g, h)
+        local = self._ite_overlay
+        outermost = local is None
+        if outermost:
+            local = self._ite_overlay = {}
+        try:
+            result = local.get(key)
+            if result is None:
+                cache = self._cache
+                result = cache.get(key)
+                if result is None:
+                    levels = self._level
+                    top = min(levels[f >> 1], levels[g >> 1], levels[h >> 1])
+                    f1, f0 = self._cofactors(f, top)
+                    g1, g0 = self._cofactors(g, top)
+                    h1, h0 = self._cofactors(h, top)
+                    then_edge = self.ite(f1, g1, h1)
+                    else_edge = self.ite(f0, g0, h0)
+                    result = self._mk(top, then_edge, else_edge)
+                    cache.put(key, result)
+                local[key] = result
+        finally:
+            if outermost:
+                self._ite_overlay = None
         return result ^ 1 if negate_out else result
 
     def not_(self, f: int) -> int:
@@ -285,9 +437,17 @@ class BDD:
         """Cofactor of ``edge`` w.r.t. the variable at ``level`` set to ``value``.
 
         Unlike :meth:`_cofactors` this works for variables anywhere in
-        the order, rebuilding the BDD above ``level``.
+        the order, rebuilding the BDD above ``level``.  Results are
+        memoized in the shared operation cache, so repeated cofactors of
+        the same function (the quantifier and compose patterns) are hits.
         """
-        cache: dict[int, int] = {}
+        value = bool(value)
+        cache = self._cache
+        # Per-call overlay: guarantees every node is expanded at most
+        # once per walk even when the shared cache is smaller than the
+        # traversal (FIFO eviction mid-walk must not reintroduce the
+        # exponential re-expansion the old local memo prevented).
+        local: dict[int, int] = {}
 
         def walk(e: int) -> int:
             index = e >> 1
@@ -295,16 +455,53 @@ class BDD:
             if node_level > level:
                 return e
             complement = e & 1
+            if node_level == level:
+                branch = self._high[index] if value else self._low[index]
+                return branch ^ complement
             regular_e = e ^ complement
-            cached = cache.get(regular_e)
+            cached = local.get(regular_e)
             if cached is None:
-                high, low = self._high[index], self._low[index]
-                if node_level == level:
-                    cached = high if value else low
-                else:
-                    cached = self._mk(node_level, walk(high), walk(low))
-                cache[regular_e] = cached
+                key = (_OP_COFACTOR, regular_e, level, value)
+                cached = cache.get(key)
+                if cached is None:
+                    cached = self._mk(
+                        node_level, walk(self._high[index]), walk(self._low[index])
+                    )
+                    cache.put(key, cached)
+                local[regular_e] = cached
             return cached ^ complement
+
+        return walk(edge)
+
+    def exists_at(self, edge: int, level: int) -> int:
+        """Existentially quantify the variable at ``level`` out of ``edge``.
+
+        Single-variable building block of :func:`repro.bdd.quantify.exists`;
+        recursion results share the unified operation cache.
+        """
+        if not 0 <= level < len(self._names):
+            raise BDDError(f"no variable at level {level}")
+        cache = self._cache
+        # Per-call overlay for the same reason as in :meth:`cofactor`.
+        local: dict[int, int] = {}
+
+        def walk(e: int) -> int:
+            node_level = self._level[e >> 1]
+            if node_level > level:
+                return e
+            if node_level == level:
+                high, low = self._cofactors(e, level)
+                return self.or_(high, low)
+            cached = local.get(e)
+            if cached is None:
+                key = (_OP_EXISTS, e, level)
+                cached = cache.get(key)
+                if cached is None:
+                    high, low = self._cofactors(e, node_level)
+                    cached = self._mk(node_level, walk(high), walk(low))
+                    cache.put(key, cached)
+                local[e] = cached
+            return cached
 
         return walk(edge)
 

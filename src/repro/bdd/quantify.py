@@ -14,13 +14,15 @@ from .manager import BDD
 
 
 def exists(mgr: BDD, f: int, names: Iterable[str]) -> int:
-    """Existential quantification: OR of cofactors over ``names``."""
+    """Existential quantification: OR of cofactors over ``names``.
+
+    Delegates to :meth:`BDD.exists_at`, whose recursion is memoized in
+    the manager's unified operation cache alongside ``ite``/``cofactor``.
+    """
     levels = sorted((mgr.level_of(name) for name in names), reverse=True)
     result = f
     for level in levels:
-        high = mgr.cofactor(result, level, True)
-        low = mgr.cofactor(result, level, False)
-        result = mgr.or_(high, low)
+        result = mgr.exists_at(result, level)
     return result
 
 

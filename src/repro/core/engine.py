@@ -64,9 +64,13 @@ class EngineStats:
     literal: int = 0
     constant: int = 0
     cache_hits: int = 0
+    #: Snapshot of the BDD manager's unified operation-cache counters
+    #: (see :meth:`repro.bdd.BDD.cache_stats`), refreshed by
+    #: :meth:`DecompositionEngine.cache_report`.
+    bdd_cache: dict[str, int | float] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
-        return {
+    def as_dict(self) -> dict[str, int | float]:
+        result: dict[str, int | float] = {
             "majority": self.majority,
             "and_or": self.and_or,
             "xor": self.xor,
@@ -75,6 +79,9 @@ class EngineStats:
             "constant": self.constant,
             "cache_hits": self.cache_hits,
         }
+        for key, value in self.bdd_cache.items():
+            result[f"bdd_cache_{key}"] = value
+        return result
 
 
 class DecompositionEngine:
@@ -111,6 +118,14 @@ class DecompositionEngine:
         result = self._decompose_uncached(f)
         self._cache[f] = result
         return result
+
+    def cache_report(self) -> dict[str, int | float]:
+        """Snapshot the manager's unified op-cache counters into
+        :attr:`stats` and return them (flows aggregate this per
+        supernode for the paper tables and the batch service)."""
+        stats = self.mgr.cache_stats()
+        self.stats.bdd_cache = stats
+        return stats
 
     def _decompose_uncached(self, f: int) -> int:
         mgr = self.mgr

@@ -6,6 +6,8 @@ Commands mirror the paper's experiments:
 * ``table2`` — mapped area/gates/delay for all four flows;
 * ``fig1`` / ``fig2`` / ``fig3`` — figure reproductions;
 * ``synth`` — run one flow on one benchmark (or a BLIF file);
+* ``batch`` — parallel batch synthesis over many benchmarks with a
+  deterministic JSON/CSV report (byte-identical for any worker count);
 * ``list`` — available benchmarks.
 """
 
@@ -15,7 +17,8 @@ import argparse
 import sys
 
 from ..benchgen import BENCHMARKS, build_benchmark
-from ..flows import FLOWS
+from ..benchgen.registry import benchmark_keys
+from ..flows import BATCH_FLOWS, FLOWS, BatchConfig, run_batch
 from ..network import read_blif, to_blif
 from .figures import figure1, figure2, figure3
 from .table1 import format_table1, run_table1
@@ -59,6 +62,24 @@ def main(argv: list[str] | None = None) -> int:
     synth.add_argument("circuit", help="benchmark key or path to a BLIF file")
     synth.add_argument("--flow", default="bds-maj", choices=sorted(FLOWS))
     synth.add_argument("--blif-out", help="write the optimized network as BLIF")
+
+    batch = sub.add_parser(
+        "batch", help="parallel batch synthesis over registry circuits"
+    )
+    batch.add_argument("--benchmarks", help="comma-separated registry keys (default: all)")
+    batch.add_argument(
+        "--category", choices=["mcnc", "hdl"], help="restrict to one registry category"
+    )
+    batch.add_argument("--flow", default="bds-maj", choices=sorted(BATCH_FLOWS))
+    batch.add_argument("--workers", type=int, default=1, help="worker processes")
+    batch.add_argument("--verify", action="store_true", help="equivalence-check outputs")
+    batch.add_argument("--format", choices=["json", "csv"], default="json")
+    batch.add_argument("--output", help="write the report to a file (default: stdout)")
+    batch.add_argument(
+        "--timings",
+        action="store_true",
+        help="include wall-clock fields (report is no longer byte-reproducible)",
+    )
 
     sub.add_parser("list", help="list available benchmarks")
 
@@ -114,6 +135,45 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.blif_out, "w") as stream:
                 stream.write(to_blif(result.optimized))
             print(f"wrote     : {args.blif_out}")
+    elif args.command == "batch":
+        if args.workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        keys = _parse_keys(args.benchmarks)
+        if keys is None:
+            keys = benchmark_keys(args.category)
+        elif args.category is not None:
+            category_keys = set(benchmark_keys(args.category))
+            dropped = [key for key in keys if key not in category_keys]
+            keys = [key for key in keys if key in category_keys]
+            if dropped:
+                _progress(
+                    f"dropping benchmarks outside --category {args.category}: "
+                    + ", ".join(dropped)
+                )
+            if not keys:
+                raise SystemExit(
+                    f"no requested benchmarks in category {args.category!r}"
+                )
+        config = BatchConfig(flow=args.flow, workers=args.workers, verify=args.verify)
+        report = run_batch(keys, config, progress=_progress)
+        if args.format == "csv":
+            text = report.to_csv(include_timing=args.timings)
+        else:
+            text = report.to_json(include_timing=args.timings)
+        if args.output:
+            with open(args.output, "w") as stream:
+                stream.write(text)
+            summary = report.summary()
+            _progress(
+                f"wrote {args.output}: {summary['ok']}/{summary['circuits']} ok, "
+                f"cache hit rate {summary['cache_hit_rate'] * 100:.1f}%, "
+                f"{report.elapsed_seconds:.1f}s elapsed "
+                f"({report.total_seconds:.1f}s summed synthesis)"
+            )
+        else:
+            sys.stdout.write(text)
+        if report.failed_circuits:
+            return 1
     elif args.command == "list":
         for key, benchmark in BENCHMARKS.items():
             print(f"{key:12s} {benchmark.display:18s} [{benchmark.category}] {benchmark.description}")

@@ -1,6 +1,14 @@
 """The four synthesis flows compared in the paper's Section V."""
 
 from .abc import AbcFlowConfig, abc_flow
+from .batch import (
+    BATCH_FLOWS,
+    BatchConfig,
+    BatchReport,
+    CircuitReport,
+    run_batch,
+    synthesize_one,
+)
 from .bds import BdsFlowConfig, BdsTrace, bds_optimize, bdsmaj_flow, bdspga_flow
 from .common import FlowResult, Stopwatch, finish_flow
 from .dc import DcFlowConfig, dc_flow, dc_optimize
@@ -14,10 +22,14 @@ FLOWS = {
 }
 
 __all__ = [
+    "BATCH_FLOWS",
     "FLOWS",
     "AbcFlowConfig",
+    "BatchConfig",
+    "BatchReport",
     "BdsFlowConfig",
     "BdsTrace",
+    "CircuitReport",
     "DcFlowConfig",
     "FlowResult",
     "Stopwatch",
@@ -28,4 +40,6 @@ __all__ = [
     "dc_flow",
     "dc_optimize",
     "finish_flow",
+    "run_batch",
+    "synthesize_one",
 ]

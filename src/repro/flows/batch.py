@@ -1,0 +1,314 @@
+"""Parallel batch-synthesis service: whole benchmark suites in one call.
+
+The paper's headline results (Tables I/II) are produced by running
+BDS-MAJ over entire benchmark suites, so the reproduction needs a
+throughput layer above the single-circuit flows.  :func:`run_batch`
+fans a list of registry keys out across a :mod:`multiprocessing` worker
+pool — every worker synthesizes its circuits with its own private
+:class:`~repro.bdd.BDD` managers, so nothing is shared and nothing
+needs locking — and folds the per-circuit results into one
+:class:`BatchReport`.
+
+Determinism contract
+--------------------
+The serialized report (:meth:`BatchReport.to_json` /
+:meth:`BatchReport.to_csv`) is **byte-identical for 1 worker and N
+workers**:
+
+* results are emitted in input order, never completion order;
+* every reported quantity (node counts, decomposition steps, unified
+  op-cache counters) is a deterministic function of the circuit alone —
+  the cache uses int-only keys and FIFO eviction, so its hit/miss
+  counts do not depend on ``PYTHONHASHSEED`` or scheduling;
+* wall-clock timings are collected but excluded from serialization
+  unless ``include_timing=True`` is requested explicitly.
+
+Failure isolation
+-----------------
+A circuit that raises does not abort the batch: its report row carries
+``status="error"`` and the exception text, and every other circuit is
+still synthesized.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..bdd.manager import combine_cache_stats
+from ..benchgen import build_benchmark
+from ..network import check_equivalence
+from .bds import BdsFlowConfig, bds_optimize
+
+#: Flows the batch service can run (the two BDD flows define the
+#: Table-I node counts and own the op-cache being instrumented).
+BATCH_FLOWS = ("bds-maj", "bds-pga")
+
+#: Schema tag written into every JSON report.
+REPORT_SCHEMA = "bdsmaj-batch-report/v1"
+
+_CSV_COLUMNS = (
+    "benchmark",
+    "flow",
+    "status",
+    "and",
+    "or",
+    "xor",
+    "xnor",
+    "maj",
+    "total",
+    "supernodes",
+    "sifted",
+    "majority_steps",
+    "and_or_steps",
+    "xor_steps",
+    "mux_steps",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_hit_rate",
+    "verified",
+    "error",
+)
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Batch-run knobs."""
+
+    flow: str = "bds-maj"
+    workers: int = 1
+    #: Equivalence-check every synthesized circuit (slow on big ones).
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.flow not in BATCH_FLOWS:
+            raise ValueError(f"unknown batch flow {self.flow!r} (known: {BATCH_FLOWS})")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass
+class CircuitReport:
+    """Everything the batch service records for one circuit."""
+
+    benchmark: str
+    flow: str
+    status: str  # "ok" | "error"
+    node_counts: dict[str, int] = field(default_factory=dict)
+    #: Aggregated decomposition-step counts (the EngineStats totals the
+    #: bds flow accumulates into its trace).
+    steps: dict[str, int] = field(default_factory=dict)
+    #: Unified op-cache counters summed over the circuit's managers.
+    cache: dict[str, int | float] = field(default_factory=dict)
+    verified: bool | None = None
+    error: str | None = None
+    #: Wall-clock synthesis time; nondeterministic, therefore excluded
+    #: from serialized reports unless explicitly requested.
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.node_counts.values())
+
+    def to_payload(self, include_timing: bool = False) -> dict:
+        payload: dict = {
+            "benchmark": self.benchmark,
+            "flow": self.flow,
+            "status": self.status,
+            "node_counts": dict(self.node_counts),
+            "total_nodes": self.total_nodes,
+            "steps": dict(self.steps),
+            "cache": dict(self.cache),
+            "verified": self.verified,
+            "error": self.error,
+        }
+        if include_timing:
+            payload["seconds"] = self.seconds
+        return payload
+
+
+@dataclass
+class BatchReport:
+    """Ordered per-circuit reports plus suite-level aggregates."""
+
+    flow: str
+    circuits: list[CircuitReport] = field(default_factory=list)
+    #: True start-to-finish wall-clock of the batch (shrinks as workers
+    #: are added); nondeterministic, so serialized only on request.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok_circuits(self) -> list[CircuitReport]:
+        return [c for c in self.circuits if c.ok]
+
+    @property
+    def failed_circuits(self) -> list[CircuitReport]:
+        return [c for c in self.circuits if not c.ok]
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed per-circuit synthesis time (CPU-ish, not wall-clock:
+        with N workers this exceeds :attr:`elapsed_seconds`)."""
+        return sum(c.seconds for c in self.circuits)
+
+    def summary(self) -> dict[str, int | float]:
+        ok = self.ok_circuits
+        cache = combine_cache_stats(c.cache for c in ok)
+        return {
+            "circuits": len(self.circuits),
+            "ok": len(ok),
+            "failed": len(self.failed_circuits),
+            "total_nodes": sum(c.total_nodes for c in ok),
+            "maj_nodes": sum(c.node_counts.get("maj", 0) for c in ok),
+            "cache_hits": cache["hits"],
+            "cache_misses": cache["misses"],
+            "cache_evictions": cache["evictions"],
+            "cache_hit_rate": cache["hit_rate"],
+        }
+
+    def to_json(self, include_timing: bool = False) -> str:
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "flow": self.flow,
+            "circuits": [c.to_payload(include_timing) for c in self.circuits],
+            "summary": self.summary(),
+        }
+        if include_timing:
+            payload["total_seconds"] = self.total_seconds
+            payload["elapsed_seconds"] = self.elapsed_seconds
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self, include_timing: bool = False) -> str:
+        columns = _CSV_COLUMNS + (("seconds",) if include_timing else ())
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
+        for report in self.circuits:
+            row: list[object] = [
+                report.benchmark,
+                report.flow,
+                report.status,
+                report.node_counts.get("and", 0),
+                report.node_counts.get("or", 0),
+                report.node_counts.get("xor", 0),
+                report.node_counts.get("xnor", 0),
+                report.node_counts.get("maj", 0),
+                report.total_nodes,
+                report.steps.get("supernodes", 0),
+                report.steps.get("sifted", 0),
+                report.steps.get("majority", 0),
+                report.steps.get("and_or", 0),
+                report.steps.get("xor", 0),
+                report.steps.get("mux", 0),
+                report.cache.get("hits", 0),
+                report.cache.get("misses", 0),
+                report.cache.get("evictions", 0),
+                repr(float(report.cache.get("hit_rate", 0.0))),
+                "" if report.verified is None else str(report.verified),
+                report.error or "",
+            ]
+            if include_timing:
+                row.append(repr(report.seconds))
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+def synthesize_one(key: str, config: BatchConfig) -> CircuitReport:
+    """Synthesize one registry circuit; never raises for circuit errors.
+
+    This is the unit of work a pool worker executes: it builds the
+    benchmark, runs the requested BDD flow with fresh private managers,
+    and snapshots node counts, decomposition steps and op-cache
+    counters into a :class:`CircuitReport`.
+    """
+    start = time.perf_counter()
+    try:
+        network = build_benchmark(key)
+        flow_config = BdsFlowConfig(
+            enable_majority=(config.flow == "bds-maj"), verify=False
+        )
+        decomposed, counts, trace = bds_optimize(network, flow_config)
+        verified: bool | None = None
+        if config.verify:
+            verified = bool(check_equivalence(network, decomposed).equivalent)
+        return CircuitReport(
+            benchmark=key,
+            flow=config.flow,
+            status="ok",
+            node_counts=counts,
+            steps={
+                "supernodes": trace.supernodes,
+                "sifted": trace.sifted,
+                "majority": trace.majority_steps,
+                "and_or": trace.and_or_steps,
+                "xor": trace.xor_steps,
+                "mux": trace.mux_steps,
+                "tree_nodes": trace.tree_nodes,
+            },
+            cache=trace.cache_summary(),
+            verified=verified,
+            seconds=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 — failure isolation by design
+        return CircuitReport(
+            benchmark=key,
+            flow=config.flow,
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - start,
+        )
+
+
+def _pool_worker(args: tuple[str, BatchConfig]) -> CircuitReport:
+    return synthesize_one(*args)
+
+
+def run_batch(
+    keys: Sequence[str] | Iterable[str],
+    config: BatchConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BatchReport:
+    """Synthesize every circuit in ``keys``; report in input order.
+
+    With ``config.workers == 1`` the batch runs serially in-process
+    (simplest to debug, no pickling); otherwise a worker pool processes
+    circuits concurrently.  Either way the report content is identical.
+    """
+    if config is None:
+        config = BatchConfig()
+    keys = list(keys)
+    report = BatchReport(flow=config.flow)
+    batch_start = time.perf_counter()
+
+    def note(circuit: CircuitReport) -> None:
+        if progress is not None:
+            outcome = (
+                f"total={circuit.total_nodes}" if circuit.ok else f"ERROR {circuit.error}"
+            )
+            progress(f"{circuit.benchmark:12s} {circuit.flow:8s} {outcome}")
+
+    if config.workers == 1 or len(keys) <= 1:
+        for key in keys:
+            circuit = synthesize_one(key, config)
+            note(circuit)
+            report.circuits.append(circuit)
+    else:
+        jobs = [(key, config) for key in keys]
+        with multiprocessing.Pool(processes=min(config.workers, len(jobs))) as pool:
+            # imap preserves input order, so the report never depends
+            # on which worker finishes first.
+            for circuit in pool.imap(_pool_worker, jobs):
+                note(circuit)
+                report.circuits.append(circuit)
+    report.elapsed_seconds = time.perf_counter() - batch_start
+    return report

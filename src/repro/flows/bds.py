@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..bdd.manager import combine_cache_stats
 from ..bdd.reorder import sift
 from ..core import DecompositionEngine, EngineConfig, TreeBuilder
 from ..core.emit import network_from_trees
@@ -52,6 +53,33 @@ class BdsTrace:
     xor_steps: int = 0
     mux_steps: int = 0
     tree_nodes: int = 0
+    #: Unified BDD operation-cache counters, summed over the supernode
+    #: managers the flow retains (construction + decomposition traffic;
+    #: sifting's discarded trial managers are not instrumented).
+    bdd_cache_hits: int = 0
+    bdd_cache_misses: int = 0
+    bdd_cache_evictions: int = 0
+
+    def add_cache_stats(self, stats: dict[str, int | float]) -> None:
+        self.bdd_cache_hits += int(stats["hits"])
+        self.bdd_cache_misses += int(stats["misses"])
+        self.bdd_cache_evictions += int(stats["evictions"])
+
+    @property
+    def bdd_cache_hit_rate(self) -> float:
+        return float(self.cache_summary()["hit_rate"])
+
+    def cache_summary(self) -> dict[str, int | float]:
+        """The Table-I / batch-report cache columns."""
+        return combine_cache_stats(
+            [
+                {
+                    "hits": self.bdd_cache_hits,
+                    "misses": self.bdd_cache_misses,
+                    "evictions": self.bdd_cache_evictions,
+                }
+            ]
+        )
 
 
 def bds_optimize(
@@ -74,9 +102,15 @@ def bds_optimize(
             new_mgr, (new_root,) = sift(mgr, [root])
             if new_mgr is not mgr:
                 trace.sifted += 1
+                # The pre-sift manager is dropped here; fold its
+                # construction cache traffic into the trace first.
+                # (sift's internal trial managers are discarded
+                # uninstrumented and never counted.)
+                trace.add_cache_stats(mgr.cache_stats())
                 mgr, root = new_mgr, new_root
         engine = DecompositionEngine(mgr, builder, config.engine)
         roots[supernode.output] = engine.decompose(root)
+        trace.add_cache_stats(engine.cache_report())
         trace.majority_steps += engine.stats.majority
         trace.and_or_steps += engine.stats.and_or
         trace.xor_steps += engine.stats.xor
@@ -99,7 +133,7 @@ def bdsmaj_flow(network: LogicNetwork, config: BdsFlowConfig | None = None) -> F
     if config is None:
         config = BdsFlowConfig(enable_majority=True)
     with Stopwatch() as timer:
-        decomposed, counts, _ = bds_optimize(network, config)
+        decomposed, counts, trace = bds_optimize(network, config)
     return finish_flow(
         "bds-maj",
         network,
@@ -108,6 +142,7 @@ def bdsmaj_flow(network: LogicNetwork, config: BdsFlowConfig | None = None) -> F
         node_counts=counts,
         library=config.library,
         verify=config.verify,
+        cache_stats=trace.cache_summary(),
     )
 
 
@@ -119,7 +154,7 @@ def bdspga_flow(network: LogicNetwork, config: BdsFlowConfig | None = None) -> F
         config.enable_majority = False
         config.engine.enable_majority = False
     with Stopwatch() as timer:
-        decomposed, counts, _ = bds_optimize(network, config)
+        decomposed, counts, trace = bds_optimize(network, config)
     return finish_flow(
         "bds-pga",
         network,
@@ -128,4 +163,5 @@ def bdspga_flow(network: LogicNetwork, config: BdsFlowConfig | None = None) -> F
         node_counts=counts,
         library=config.library,
         verify=config.verify,
+        cache_stats=trace.cache_summary(),
     )

@@ -28,6 +28,9 @@ class FlowResult:
     optimize_seconds: float
     node_counts: dict[str, int] = field(default_factory=dict)
     equivalence: EquivalenceResult | None = None
+    #: Unified BDD operation-cache counters aggregated over the flow
+    #: (hits/misses/evictions/hit_rate); empty for non-BDD flows.
+    cache_stats: dict[str, int | float] = field(default_factory=dict)
 
     @property
     def total_nodes(self) -> int:
@@ -46,6 +49,7 @@ def finish_flow(
     node_counts: dict[str, int] | None = None,
     library: CellLibrary | None = None,
     verify: bool = True,
+    cache_stats: dict[str, int | float] | None = None,
 ) -> FlowResult:
     """Common tail of every flow: map, time, verify."""
     mapped = map_network(optimized, library)
@@ -69,6 +73,7 @@ def finish_flow(
         optimize_seconds=optimize_seconds,
         node_counts=node_counts or {},
         equivalence=equivalence,
+        cache_stats=cache_stats or {},
     )
 
 

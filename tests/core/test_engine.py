@@ -165,3 +165,27 @@ def test_property_engine_preserves_function(table, enable_majority):
     for row in range(16):
         assignment = {name: bool(row >> i & 1) for i, name in enumerate(names)}
         assert engine.builder.eval(root, assignment) == mgr.eval(f, assignment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    enable_majority=st.booleans(),
+)
+def test_property_random_expression_tree_equivalence(seed, enable_majority):
+    """For random expression-tree functions (the conftest generator),
+    the factored tree — majority on and off — evaluates identically to
+    the source BDD on every assignment."""
+    names = "abcde"
+    mgr = BDD(list(names))
+    rng = random.Random(seed)
+    f = random_function(mgr, names, rng, depth=5)
+    engine = DecompositionEngine(
+        mgr, TreeBuilder(), EngineConfig(enable_majority=enable_majority)
+    )
+    root = engine.decompose(f)
+    for assignment in all_assignments(names):
+        assert engine.builder.eval(root, assignment) == mgr.eval(f, assignment)
+    if not enable_majority:
+        assert engine.stats.majority == 0
+        assert engine.builder.count_ops([root]).get("maj", 0) == 0

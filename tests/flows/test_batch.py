@@ -1,0 +1,144 @@
+"""Tests for the parallel batch-synthesis service."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.flows import BatchConfig, BatchReport, CircuitReport, run_batch
+from repro.flows import batch as batch_module
+
+SMALL = ["alu2", "f51m"]
+
+
+class TestConfig:
+    def test_rejects_unknown_flow(self):
+        with pytest.raises(ValueError):
+            BatchConfig(flow="abc")
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            BatchConfig(workers=0)
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return run_batch(SMALL, BatchConfig(workers=1))
+
+    @pytest.fixture(scope="class")
+    def parallel_report(self):
+        return run_batch(SMALL, BatchConfig(workers=4))
+
+    def test_json_byte_identical_across_worker_counts(
+        self, serial_report, parallel_report
+    ):
+        assert serial_report.to_json() == parallel_report.to_json()
+
+    def test_csv_byte_identical_across_worker_counts(
+        self, serial_report, parallel_report
+    ):
+        assert serial_report.to_csv() == parallel_report.to_csv()
+
+    def test_report_preserves_input_order(self, parallel_report):
+        assert [c.benchmark for c in parallel_report.circuits] == SMALL
+
+    def test_cache_counters_populated(self, serial_report):
+        for circuit in serial_report.circuits:
+            assert circuit.cache["hits"] > 0
+            assert circuit.cache["misses"] > 0
+            assert 0.0 < circuit.cache["hit_rate"] < 1.0
+
+    def test_timing_collected_but_not_serialized(self, serial_report):
+        assert serial_report.total_seconds > 0.0
+        assert serial_report.elapsed_seconds > 0.0
+        default_payload = json.loads(serial_report.to_json())
+        assert "seconds" not in default_payload["circuits"][0]
+        assert "elapsed_seconds" not in default_payload
+        timed_payload = json.loads(serial_report.to_json(include_timing=True))
+        assert "seconds" in timed_payload["circuits"][0]
+        # Serial run: summed synthesis time cannot exceed true elapsed.
+        assert timed_payload["total_seconds"] <= timed_payload["elapsed_seconds"]
+
+
+class TestFailureIsolation:
+    def test_unknown_benchmark_does_not_abort_batch(self):
+        report = run_batch(["alu2", "definitely-not-a-circuit", "f51m"])
+        assert [c.status for c in report.circuits] == ["ok", "error", "ok"]
+        failed = report.circuits[1]
+        assert failed.error is not None and "definitely-not-a-circuit" in failed.error
+        summary = report.summary()
+        assert summary["ok"] == 2 and summary["failed"] == 1
+
+    def test_raising_circuit_is_isolated(self, monkeypatch):
+        real_build = batch_module.build_benchmark
+
+        def exploding_build(key):
+            if key == "f51m":
+                raise RuntimeError("synthetic failure")
+            return real_build(key)
+
+        monkeypatch.setattr(batch_module, "build_benchmark", exploding_build)
+        report = run_batch(["f51m", "alu2"], BatchConfig(workers=1))
+        assert [c.status for c in report.circuits] == ["error", "ok"]
+        assert "synthetic failure" in report.circuits[0].error
+
+    def test_failed_rows_survive_serialization(self):
+        report = BatchReport(
+            flow="bds-maj",
+            circuits=[
+                CircuitReport(
+                    benchmark="x", flow="bds-maj", status="error", error="Boom: nope"
+                )
+            ],
+        )
+        assert "Boom: nope" in report.to_json()
+        assert "Boom: nope" in report.to_csv()
+
+
+class TestReportContent:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_batch(["f51m"], BatchConfig(verify=True))
+
+    def test_verification_recorded(self, report):
+        assert report.circuits[0].verified is True
+
+    def test_node_counts_match_table1_shape(self, report):
+        counts = report.circuits[0].node_counts
+        assert set(counts) == {"and", "or", "xor", "xnor", "maj"}
+        assert report.circuits[0].total_nodes == sum(counts.values())
+
+    def test_csv_has_header_and_rows(self, report):
+        lines = report.to_csv().splitlines()
+        assert lines[0].startswith("benchmark,flow,status,")
+        assert len(lines) == 2
+        assert lines[1].startswith("f51m,bds-maj,ok,")
+
+    def test_json_schema_tag(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == batch_module.REPORT_SCHEMA
+        assert payload["summary"]["circuits"] == 1
+
+
+class TestCli:
+    def test_batch_subcommand_writes_report(self, tmp_path, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        out = tmp_path / "report.json"
+        assert (
+            cli_main(
+                ["batch", "--benchmarks", "f51m", "--workers", "1", "--output", str(out)]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["circuits"][0]["benchmark"] == "f51m"
+
+    def test_batch_csv_to_stdout(self, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        assert cli_main(["batch", "--benchmarks", "f51m", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("benchmark,flow,status,")
