@@ -17,6 +17,9 @@ in pure Python:
 * :mod:`repro.aig` — AIG optimization (ABC-like baseline);
 * :mod:`repro.mapping` — 22 nm-style cell library, structural and
   cut-based Boolean-matching mappers, STA;
+* :mod:`repro.api` — the public composable pipeline API: stages,
+  pipelines, the flow registry, pluggable input sources and observer
+  hooks (start here; ``repro.flows`` is a compatibility shim over it);
 * :mod:`repro.flows` — the four synthesis flows compared in the paper;
 * :mod:`repro.benchgen` — the 17 Table I/II benchmark circuits plus
   extra arithmetic generators;

@@ -1,0 +1,156 @@
+"""Pluggable inputs: where circuits come from.
+
+The paper's experiments draw circuits from the built-in benchmark
+registry, but a synthesis *service* must also accept user netlists.
+An :class:`InputSource` enumerates :class:`InputItem` descriptors —
+small, picklable records a multiprocessing worker can load on its own
+side of the fork — so ``run_batch``, ``synthesize_one`` and the CLI all
+speak one vocabulary:
+
+* :class:`RegistrySource` — registry keys, optionally by category;
+* :class:`BlifFileSource` — one BLIF file;
+* :class:`BlifGlobSource` — a glob of BLIF files, expanded in sorted
+  order so reports stay deterministic;
+* :func:`resolve_source` — "do what I mean" dispatch for CLI arguments.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from ..benchgen import build_benchmark
+from ..benchgen.registry import BENCHMARKS, benchmark_keys
+from ..network import LogicNetwork, read_blif
+
+#: ``InputItem.kind`` values.
+KIND_REGISTRY = "registry"
+KIND_BLIF = "blif"
+
+
+class InputSourceError(ValueError):
+    """Raised when an input specification cannot be resolved (unknown
+    registry key, missing file, glob matching nothing...)."""
+
+
+@dataclass(frozen=True)
+class InputItem:
+    """One loadable circuit.
+
+    ``name`` is the report/display key; ``kind`` selects the loader
+    (``"registry"`` builds from the benchmark registry, ``"blif"``
+    parses the file at ``path``).  Frozen and field-only so worker
+    processes can unpickle it without importing caller state.
+    """
+
+    name: str
+    kind: str = KIND_REGISTRY
+    path: str | None = None
+
+    def load(self) -> LogicNetwork:
+        if self.kind == KIND_REGISTRY:
+            return build_benchmark(self.name)
+        if self.kind == KIND_BLIF:
+            if self.path is None:
+                raise InputSourceError(f"BLIF item {self.name!r} has no path")
+            with open(self.path) as stream:
+                return read_blif(stream)
+        raise InputSourceError(f"unknown input kind {self.kind!r}")
+
+    @property
+    def origin(self) -> str:
+        """Where the circuit comes from (path for files, key otherwise)."""
+        return self.path if self.path is not None else self.name
+
+
+class InputSource:
+    """Base class: an ordered, reproducible collection of input items."""
+
+    def items(self) -> list[InputItem]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[InputItem]:
+        return iter(self.items())
+
+
+class RegistrySource(InputSource):
+    """Circuits from the benchmark registry, in table order.
+
+    ``keys=None`` selects every registry circuit; ``category`` filters
+    to the MCNC or HDL section.  Unknown keys fail eagerly — a batch
+    over the registry should not discover typos one error row at a time.
+    """
+
+    def __init__(
+        self, keys: Sequence[str] | None = None, category: str | None = None
+    ) -> None:
+        if keys is None:
+            keys = benchmark_keys(category)
+        else:
+            keys = list(keys)
+            unknown = [key for key in keys if key not in BENCHMARKS]
+            if unknown:
+                raise InputSourceError(
+                    f"unknown benchmarks: {', '.join(unknown)}"
+                )
+            if category is not None:
+                allowed = set(benchmark_keys(category))
+                keys = [key for key in keys if key in allowed]
+        self.keys = list(keys)
+
+    def items(self) -> list[InputItem]:
+        return [InputItem(name=key, kind=KIND_REGISTRY) for key in self.keys]
+
+
+class BlifFileSource(InputSource):
+    """A single BLIF file; the item is named after the file stem."""
+
+    def __init__(self, path: str) -> None:
+        if not Path(path).is_file():
+            raise InputSourceError(f"no such BLIF file: {path!r}")
+        self.path = str(path)
+
+    def items(self) -> list[InputItem]:
+        return [_blif_item(self.path)]
+
+
+class BlifGlobSource(InputSource):
+    """Every BLIF file matching a glob pattern.
+
+    Matches are sorted lexicographically by path, so the item order —
+    and therefore every downstream batch report — is independent of
+    filesystem enumeration order.  An empty match is an error: a batch
+    silently running zero circuits is never what the caller meant.
+    """
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.paths = sorted(_glob.glob(pattern))
+        if not self.paths:
+            raise InputSourceError(
+                f"pattern {pattern!r} matched no BLIF files"
+            )
+
+    def items(self) -> list[InputItem]:
+        return [_blif_item(path) for path in self.paths]
+
+
+def _blif_item(path: str) -> InputItem:
+    return InputItem(name=Path(path).stem, kind=KIND_BLIF, path=path)
+
+
+def resolve_source(spec: str) -> InputSource:
+    """Turn a CLI-style circuit spec into an :class:`InputSource`.
+
+    Registry keys win (so ``bdsmaj synth alu2`` keeps meaning the
+    registry circuit even if a file of that name exists); specs with
+    glob metacharacters become :class:`BlifGlobSource`; everything else
+    must be an existing BLIF file.
+    """
+    if spec in BENCHMARKS:
+        return RegistrySource([spec])
+    if any(ch in spec for ch in "*?["):
+        return BlifGlobSource(spec)
+    return BlifFileSource(spec)

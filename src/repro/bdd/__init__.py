@@ -29,6 +29,7 @@ from .dot import to_dot
 from .manager import (
     BDD,
     BDDError,
+    CACHE_POLICIES,
     DEFAULT_CACHE_CAPACITY,
     OperationCache,
     TERMINAL_LEVEL,
@@ -52,6 +53,7 @@ from .substitute import (
 __all__ = [
     "BDD",
     "BDDError",
+    "CACHE_POLICIES",
     "CareSetError",
     "DEFAULT_CACHE_CAPACITY",
     "DominatorDecomposition",

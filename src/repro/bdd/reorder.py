@@ -29,7 +29,11 @@ def reorder(mgr: BDD, roots: list[int], order: list[str]) -> tuple[BDD, list[int
     """
     if sorted(order) != sorted(mgr.var_names):
         raise ValueError("order must be a permutation of the manager's variables")
-    target = BDD(order)
+    target = BDD(
+        order,
+        cache_capacity=mgr.op_cache.capacity,
+        cache_policy=mgr.op_cache.policy,
+    )
     return target, [mgr.transfer(root, target) for root in roots]
 
 

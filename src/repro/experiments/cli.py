@@ -5,10 +5,15 @@ Commands mirror the paper's experiments:
 * ``table1`` — decomposition node counts (BDS-MAJ vs BDS-PGA);
 * ``table2`` — mapped area/gates/delay for all four flows;
 * ``fig1`` / ``fig2`` / ``fig3`` — figure reproductions;
-* ``synth`` — run one flow on one benchmark (or a BLIF file);
-* ``batch`` — parallel batch synthesis over many benchmarks with a
-  deterministic JSON/CSV report (byte-identical for any worker count);
+* ``synth`` — run one flow on one benchmark or BLIF file;
+* ``batch`` — parallel batch synthesis over many benchmarks and/or
+  globs of BLIF files (``--files``) with a deterministic JSON/CSV
+  report (byte-identical for any worker count);
 * ``list`` — available benchmarks.
+
+Circuit arguments resolve through the pluggable input layer of
+:mod:`repro.api`: registry keys, BLIF file paths and glob patterns are
+all accepted where a circuit is expected.
 """
 
 from __future__ import annotations
@@ -16,10 +21,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..benchgen import BENCHMARKS, build_benchmark
+from ..api import (
+    BlifGlobSource,
+    InputSourceError,
+    get_pipeline,
+    resolve_source,
+)
+from ..benchgen import BENCHMARKS
 from ..benchgen.registry import benchmark_keys
 from ..flows import BATCH_FLOWS, FLOWS, BatchConfig, run_batch
-from ..network import read_blif, to_blif
+from ..network import to_blif
 from .figures import figure1, figure2, figure3
 from .table1 import format_table1, run_table1
 from .table2 import format_table2, run_table2
@@ -64,15 +75,29 @@ def main(argv: list[str] | None = None) -> int:
     synth.add_argument("--blif-out", help="write the optimized network as BLIF")
 
     batch = sub.add_parser(
-        "batch", help="parallel batch synthesis over registry circuits"
+        "batch", help="parallel batch synthesis over registry circuits and BLIF files"
     )
     batch.add_argument("--benchmarks", help="comma-separated registry keys (default: all)")
+    batch.add_argument(
+        "--files",
+        action="append",
+        metavar="GLOB",
+        help="glob of BLIF files to synthesize (repeatable, combinable "
+        "with --benchmarks); an empty match is an error",
+    )
     batch.add_argument(
         "--category", choices=["mcnc", "hdl"], help="restrict to one registry category"
     )
     batch.add_argument("--flow", default="bds-maj", choices=sorted(BATCH_FLOWS))
     batch.add_argument("--workers", type=int, default=1, help="worker processes")
     batch.add_argument("--verify", action="store_true", help="equivalence-check outputs")
+    batch.add_argument(
+        "--cache-policy",
+        choices=["fifo", "lru"],
+        default="fifo",
+        help="BDD operation-cache eviction policy (fifo keeps the "
+        "published counters)",
+    )
     batch.add_argument("--format", choices=["json", "csv"], default="json")
     batch.add_argument("--output", help="write the report to a file (default: stdout)")
     batch.add_argument(
@@ -114,12 +139,17 @@ def main(argv: list[str] | None = None) -> int:
         for line in result.lines:
             print(line)
     elif args.command == "synth":
-        if args.circuit in BENCHMARKS:
-            network = build_benchmark(args.circuit)
-        else:
-            with open(args.circuit) as stream:
-                network = read_blif(stream)
-        result = FLOWS[args.flow](network)
+        try:
+            items = resolve_source(args.circuit).items()
+        except InputSourceError as exc:
+            raise SystemExit(str(exc))
+        if len(items) != 1:
+            raise SystemExit(
+                f"synth expects exactly one circuit, but {args.circuit!r} "
+                f"matched {len(items)} files (use `batch --files` for suites)"
+            )
+        network = items[0].load()
+        result = get_pipeline(args.flow).run(network)
         area, gates, delay = result.table2_row()
         print(f"flow      : {result.flow}")
         print(f"benchmark : {result.benchmark}")
@@ -140,7 +170,13 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit("--workers must be >= 1")
         keys = _parse_keys(args.benchmarks)
         if keys is None:
-            keys = benchmark_keys(args.category)
+            # No explicit keys: a purely file-driven batch runs only the
+            # globbed files, but an explicit --category is a registry
+            # request and is honored either way.
+            if args.files and args.category is None:
+                keys = []
+            else:
+                keys = benchmark_keys(args.category)
         elif args.category is not None:
             category_keys = set(benchmark_keys(args.category))
             dropped = [key for key in keys if key not in category_keys]
@@ -150,12 +186,25 @@ def main(argv: list[str] | None = None) -> int:
                     f"dropping benchmarks outside --category {args.category}: "
                     + ", ".join(dropped)
                 )
-            if not keys:
+            if not keys and not args.files:
                 raise SystemExit(
                     f"no requested benchmarks in category {args.category!r}"
                 )
-        config = BatchConfig(flow=args.flow, workers=args.workers, verify=args.verify)
-        report = run_batch(keys, config, progress=_progress)
+        # run_batch normalizes plain registry keys itself; only the file
+        # items need resolving here.
+        items: list = list(keys)
+        for pattern in args.files or ():
+            try:
+                items.extend(BlifGlobSource(pattern).items())
+            except InputSourceError as exc:
+                raise SystemExit(f"--files: {exc}")
+        config = BatchConfig(
+            flow=args.flow,
+            workers=args.workers,
+            verify=args.verify,
+            cache_policy=args.cache_policy,
+        )
+        report = run_batch(items, config, progress=_progress)
         if args.format == "csv":
             text = report.to_csv(include_timing=args.timings)
         else:

@@ -1,20 +1,21 @@
 """Table I regeneration: decomposition node counts, BDS-MAJ vs BDS-PGA.
 
-For every benchmark the harness runs both BDD flows' *optimization*
-stage (no mapping needed for Table I), collects the AND/OR/XOR/XNOR/MAJ
-node counts of the decomposed network and the runtime, and prints the
-table with the paper's published row next to each measured row.
+For every benchmark the harness runs the *optimize prefix* of both BDD
+pipelines (no mapping needed for Table I), collects the
+AND/OR/XOR/XNOR/MAJ node counts of the decomposed network and the
+runtime, and prints the table with the paper's published row next to
+each measured row.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from ..api import get_pipeline
 from ..bdd.manager import combine_cache_stats
 from ..benchgen import BENCHMARKS, build_benchmark
-from ..flows import BdsFlowConfig, bds_optimize
+from ..flows import BdsFlowConfig
 from ..network import check_equivalence
 from .paper_data import PAPER_TABLE1
 
@@ -52,19 +53,19 @@ def run_table1(
         entry = Table1Entry(key, benchmark.display, benchmark.category)
         for tool in TOOLS:
             config = BdsFlowConfig(enable_majority=(tool == "bds-maj"), verify=False)
-            start = time.perf_counter()
-            decomposed, counts, trace = bds_optimize(network, config)
-            entry.runtime[tool] = time.perf_counter() - start
-            entry.counts[tool] = counts
-            entry.cache[tool] = trace.cache_summary()
+            pipeline = get_pipeline(tool).optimize_prefix()
+            ctx = pipeline.run_context(network, config)
+            entry.runtime[tool] = ctx.optimize_seconds
+            entry.counts[tool] = ctx.node_counts
+            entry.cache[tool] = ctx.cache_stats
             if verify:
                 entry.verified[tool] = bool(
-                    check_equivalence(network, decomposed).equivalent
+                    check_equivalence(network, ctx.optimized).equivalent
                 )
             if progress is not None:
                 progress(
                     f"{benchmark.display:18s} {tool:8s} "
-                    f"total={sum(counts.values()):5d} "
+                    f"total={entry.total(tool):5d} "
                     f"({entry.runtime[tool]:.1f}s)"
                 )
         entries.append(entry)

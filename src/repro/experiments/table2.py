@@ -6,8 +6,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from ..api import get_pipeline
 from ..benchgen import BENCHMARKS, build_benchmark
-from ..flows import AbcFlowConfig, BdsFlowConfig, DcFlowConfig, FLOWS
+from ..flows import AbcFlowConfig, BdsFlowConfig, DcFlowConfig
 from .paper_data import PAPER_TABLE2
 
 FLOW_ORDER = ("bds-maj", "bds-pga", "abc", "dc")
@@ -45,9 +46,8 @@ def run_table2(
         network = build_benchmark(key)
         entry = Table2Entry(key, benchmark.display, benchmark.category)
         for flow_name in FLOW_ORDER:
-            flow = FLOWS[flow_name]
             config = _flow_config(flow_name, quick, verify)
-            result = flow(network, config)
+            result = get_pipeline(flow_name).run(network, config)
             entry.rows[flow_name] = result.table2_row()
             entry.runtime[flow_name] = result.optimize_seconds
             if progress is not None:

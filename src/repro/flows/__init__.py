@@ -1,4 +1,20 @@
-"""The four synthesis flows compared in the paper's Section V."""
+"""The four synthesis flows compared in the paper's Section V.
+
+.. note:: **Compatibility shim.**  Flow execution now lives in the
+   composable pipeline API (:mod:`repro.api`): each flow is a stage
+   composition registered in the default
+   :class:`~repro.api.PipelineRegistry`, and the functions re-exported
+   here (``bdsmaj_flow``, ``bdspga_flow``, ``abc_flow``, ``dc_flow``)
+   plus the :data:`FLOWS` mapping are thin wrappers kept so existing
+   callers and scripts keep working unchanged.  New code should prefer::
+
+       from repro.api import get_pipeline
+       result = get_pipeline("bds-maj").run(network)
+
+   The building blocks (:func:`bds_optimize`, :func:`dc_optimize`,
+   :func:`finish_flow`) remain first-class: they are the one-shot
+   reference implementations the pipeline stages are tested against.
+"""
 
 from .abc import AbcFlowConfig, abc_flow
 from .batch import (
@@ -10,10 +26,13 @@ from .batch import (
     synthesize_one,
 )
 from .bds import BdsFlowConfig, BdsTrace, bds_optimize, bdsmaj_flow, bdspga_flow
-from .common import FlowResult, Stopwatch, finish_flow
+from .common import FlowResult, Stopwatch, finish_flow, map_and_analyze, verify_or_raise
 from .dc import DcFlowConfig, dc_flow, dc_optimize
 
-#: Flow registry in the paper's Table II column order.
+#: Flow registry in the paper's Table II column order.  Compatibility
+#: shim over :func:`repro.api.get_pipeline` — the values are the
+#: wrapper functions above, so ``FLOWS[name](network, config)`` keeps
+#: its historical signature.
 FLOWS = {
     "bds-maj": bdsmaj_flow,
     "bds-pga": bdspga_flow,
@@ -40,6 +59,8 @@ __all__ = [
     "dc_flow",
     "dc_optimize",
     "finish_flow",
+    "map_and_analyze",
     "run_batch",
     "synthesize_one",
+    "verify_or_raise",
 ]

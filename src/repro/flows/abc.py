@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..aig import aig_to_network, network_to_aig, resyn2, resyn_quick
 from ..mapping.library import CellLibrary
 from ..network import LogicNetwork
-from .common import FlowResult, Stopwatch, finish_flow
+from .common import FlowResult
 
 
 @dataclass
@@ -28,17 +27,9 @@ class AbcFlowConfig:
 
 
 def abc_flow(network: LogicNetwork, config: AbcFlowConfig | None = None) -> FlowResult:
-    if config is None:
-        config = AbcFlowConfig()
-    with Stopwatch() as timer:
-        aig = network_to_aig(network)
-        optimized_aig = resyn_quick(aig) if config.quick else resyn2(aig)
-        optimized = aig_to_network(optimized_aig, name=network.name, detect_xor=True)
-    return finish_flow(
-        "abc",
-        network,
-        optimized,
-        timer.seconds,
-        library=config.library,
-        verify=config.verify,
-    )
+    """Compatibility shim over the ``"abc"`` pipeline in
+    :mod:`repro.api` (``LoadInput -> Strash -> Rewrite -> Emit -> Map
+    -> Verify``)."""
+    from ..api import get_pipeline
+
+    return get_pipeline("abc").run(network, config)

@@ -3,11 +3,20 @@
 The paper's headline results (Tables I/II) are produced by running
 BDS-MAJ over entire benchmark suites, so the reproduction needs a
 throughput layer above the single-circuit flows.  :func:`run_batch`
-fans a list of registry keys out across a :mod:`multiprocessing` worker
-pool — every worker synthesizes its circuits with its own private
+fans circuits out across a :mod:`multiprocessing` worker pool — every
+worker synthesizes its circuits with its own private
 :class:`~repro.bdd.BDD` managers, so nothing is shared and nothing
 needs locking — and folds the per-circuit results into one
 :class:`BatchReport`.
+
+Circuits come from the pluggable input layer (:mod:`repro.api.inputs`):
+plain registry keys keep working, and any mix of
+:class:`~repro.api.InputItem` descriptors or an
+:class:`~repro.api.InputSource` (e.g. ``BlifGlobSource("out/*.blif")``)
+is accepted.  Work is executed through the pipeline registry
+(:mod:`repro.api.registry`): each circuit runs the optimize prefix of
+its flow's pipeline, so every registered flow — including ``abc`` and
+``dc`` — can be batched, not just the two BDD flows.
 
 Determinism contract
 --------------------
@@ -18,8 +27,9 @@ workers**:
 * results are emitted in input order, never completion order;
 * every reported quantity (node counts, decomposition steps, unified
   op-cache counters) is a deterministic function of the circuit alone —
-  the cache uses int-only keys and FIFO eviction, so its hit/miss
-  counts do not depend on ``PYTHONHASHSEED`` or scheduling;
+  the cache uses int-only keys and deterministic eviction (FIFO by
+  default, LRU via ``cache_policy="lru"``), so its hit/miss counts do
+  not depend on ``PYTHONHASHSEED`` or scheduling;
 * wall-clock timings are collected but excluded from serialization
   unless ``include_timing=True`` is requested explicitly.
 
@@ -38,16 +48,19 @@ import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from ..bdd.manager import combine_cache_stats
+from ..bdd.manager import CACHE_POLICIES, combine_cache_stats
 from ..benchgen import build_benchmark
 from ..network import check_equivalence
-from .bds import BdsFlowConfig, bds_optimize
 
-#: Flows the batch service can run (the two BDD flows define the
-#: Table-I node counts and own the op-cache being instrumented).
-BATCH_FLOWS = ("bds-maj", "bds-pga")
+if TYPE_CHECKING:  # pragma: no cover - hints only (runtime import is lazy)
+    from ..api import InputItem, InputSource
+
+#: Flows the batch service can run — every pipeline in the default
+#: registry (the two BDD flows define the Table-I node counts and the
+#: op-cache columns; abc/dc rows report status/verification only).
+BATCH_FLOWS = ("bds-maj", "bds-pga", "abc", "dc")
 
 #: Schema tag written into every JSON report.
 REPORT_SCHEMA = "bdsmaj-batch-report/v1"
@@ -85,12 +98,21 @@ class BatchConfig:
     workers: int = 1
     #: Equivalence-check every synthesized circuit (slow on big ones).
     verify: bool = False
+    #: BDD operation-cache eviction policy for the flows' managers
+    #: ("fifo" | "lru").  The FIFO default keeps every published
+    #: counter unchanged.
+    cache_policy: str = "fifo"
 
     def __post_init__(self) -> None:
         if self.flow not in BATCH_FLOWS:
             raise ValueError(f"unknown batch flow {self.flow!r} (known: {BATCH_FLOWS})")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {self.cache_policy!r} "
+                f"(known: {CACHE_POLICIES})"
+            )
 
 
 @dataclass
@@ -102,9 +124,10 @@ class CircuitReport:
     status: str  # "ok" | "error"
     node_counts: dict[str, int] = field(default_factory=dict)
     #: Aggregated decomposition-step counts (the EngineStats totals the
-    #: bds flow accumulates into its trace).
+    #: bds flow accumulates into its trace); empty for non-BDS flows.
     steps: dict[str, int] = field(default_factory=dict)
-    #: Unified op-cache counters summed over the circuit's managers.
+    #: Unified op-cache counters summed over the circuit's managers;
+    #: empty for non-BDS flows.
     cache: dict[str, int | float] = field(default_factory=dict)
     verified: bool | None = None
     error: str | None = None
@@ -223,30 +246,57 @@ class BatchReport:
         return buffer.getvalue()
 
 
-def synthesize_one(key: str, config: BatchConfig) -> CircuitReport:
-    """Synthesize one registry circuit; never raises for circuit errors.
+def _flow_config(config: BatchConfig):
+    """Per-flow optimization config for one batch unit of work
+    (verification is handled by the batch layer itself)."""
+    from .abc import AbcFlowConfig
+    from .bds import BdsFlowConfig
+    from .dc import DcFlowConfig
 
-    This is the unit of work a pool worker executes: it builds the
-    benchmark, runs the requested BDD flow with fresh private managers,
-    and snapshots node counts, decomposition steps and op-cache
-    counters into a :class:`CircuitReport`.
-    """
-    start = time.perf_counter()
-    try:
-        network = build_benchmark(key)
+    if config.flow in ("bds-maj", "bds-pga"):
         flow_config = BdsFlowConfig(
             enable_majority=(config.flow == "bds-maj"), verify=False
         )
-        decomposed, counts, trace = bds_optimize(network, flow_config)
-        verified: bool | None = None
-        if config.verify:
-            verified = bool(check_equivalence(network, decomposed).equivalent)
-        return CircuitReport(
-            benchmark=key,
-            flow=config.flow,
-            status="ok",
-            node_counts=counts,
-            steps={
+    elif config.flow == "abc":
+        return AbcFlowConfig(verify=False)
+    else:
+        flow_config = DcFlowConfig(verify=False)
+    flow_config.partition.cache_policy = config.cache_policy
+    return flow_config
+
+
+def _load_item(item: "InputItem"):
+    """Load one input item.
+
+    Registry items resolve through this module's ``build_benchmark``
+    binding (tests monkeypatch it to inject failures)."""
+    if item.kind == "registry":
+        return build_benchmark(item.name)
+    return item.load()
+
+
+def synthesize_one(item: "str | InputItem", config: BatchConfig) -> CircuitReport:
+    """Synthesize one circuit; never raises for circuit errors.
+
+    This is the unit of work a pool worker executes: it loads the
+    circuit (registry key or BLIF file item), runs the optimize prefix
+    of the flow's registered pipeline with fresh private managers, and
+    snapshots node counts, decomposition steps and op-cache counters
+    into a :class:`CircuitReport`.
+    """
+    from ..api import InputItem, get_pipeline
+
+    if isinstance(item, str):
+        item = InputItem(name=item, kind="registry")
+    start = time.perf_counter()
+    try:
+        network = _load_item(item)
+        pipeline = get_pipeline(config.flow).optimize_prefix()
+        ctx = pipeline.run_context(network, _flow_config(config))
+        trace = ctx.scratch.get("trace")
+        steps: dict[str, int] = {}
+        if trace is not None:
+            steps = {
                 "supernodes": trace.supernodes,
                 "sifted": trace.sifted,
                 "majority": trace.majority_steps,
@@ -254,14 +304,23 @@ def synthesize_one(key: str, config: BatchConfig) -> CircuitReport:
                 "xor": trace.xor_steps,
                 "mux": trace.mux_steps,
                 "tree_nodes": trace.tree_nodes,
-            },
-            cache=trace.cache_summary(),
+            }
+        verified: bool | None = None
+        if config.verify:
+            verified = bool(check_equivalence(network, ctx.optimized).equivalent)
+        return CircuitReport(
+            benchmark=item.name,
+            flow=config.flow,
+            status="ok",
+            node_counts=ctx.node_counts,
+            steps=steps,
+            cache=ctx.cache_stats,
             verified=verified,
             seconds=time.perf_counter() - start,
         )
     except Exception as exc:  # noqa: BLE001 — failure isolation by design
         return CircuitReport(
-            benchmark=key,
+            benchmark=item.name,
             flow=config.flow,
             status="error",
             error=f"{type(exc).__name__}: {exc}",
@@ -269,24 +328,44 @@ def synthesize_one(key: str, config: BatchConfig) -> CircuitReport:
         )
 
 
-def _pool_worker(args: tuple[str, BatchConfig]) -> CircuitReport:
+def _pool_worker(args: "tuple[InputItem, BatchConfig]") -> CircuitReport:
     return synthesize_one(*args)
 
 
+def _normalize_items(
+    keys: "Sequence[str | InputItem] | Iterable[str | InputItem] | InputSource",
+) -> "list[InputItem]":
+    from ..api import InputItem, InputSource
+
+    if isinstance(keys, InputSource):
+        return keys.items()
+    items: list[InputItem] = []
+    for entry in keys:
+        if isinstance(entry, InputItem):
+            items.append(entry)
+        else:
+            # Plain strings stay registry keys; unknown keys surface as
+            # per-circuit error rows, not batch aborts.
+            items.append(InputItem(name=str(entry), kind="registry"))
+    return items
+
+
 def run_batch(
-    keys: Sequence[str] | Iterable[str],
+    keys: "Sequence[str | InputItem] | Iterable[str | InputItem] | InputSource",
     config: BatchConfig | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> BatchReport:
     """Synthesize every circuit in ``keys``; report in input order.
 
+    ``keys`` may be registry keys, :class:`~repro.api.InputItem`
+    descriptors (mixed freely) or a whole :class:`~repro.api.InputSource`.
     With ``config.workers == 1`` the batch runs serially in-process
     (simplest to debug, no pickling); otherwise a worker pool processes
     circuits concurrently.  Either way the report content is identical.
     """
     if config is None:
         config = BatchConfig()
-    keys = list(keys)
+    items = _normalize_items(keys)
     report = BatchReport(flow=config.flow)
     batch_start = time.perf_counter()
 
@@ -297,13 +376,13 @@ def run_batch(
             )
             progress(f"{circuit.benchmark:12s} {circuit.flow:8s} {outcome}")
 
-    if config.workers == 1 or len(keys) <= 1:
-        for key in keys:
-            circuit = synthesize_one(key, config)
+    if config.workers == 1 or len(items) <= 1:
+        for item in items:
+            circuit = synthesize_one(item, config)
             note(circuit)
             report.circuits.append(circuit)
     else:
-        jobs = [(key, config) for key in keys]
+        jobs = [(item, config) for item in items]
         with multiprocessing.Pool(processes=min(config.workers, len(jobs))) as pool:
             # imap preserves input order, so the report never depends
             # on which worker finishes first.

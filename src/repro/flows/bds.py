@@ -20,7 +20,7 @@ from ..core import DecompositionEngine, EngineConfig, TreeBuilder
 from ..core.emit import network_from_trees
 from ..mapping.library import CellLibrary
 from ..network import LogicNetwork, PartitionConfig, partition_with_bdds
-from .common import FlowResult, Stopwatch, finish_flow
+from .common import FlowResult
 
 
 @dataclass
@@ -88,7 +88,10 @@ def bds_optimize(
     """Run partitioning + decomposition + factoring-tree emission.
 
     Returns the decomposed gate network, the Table-I node counts and
-    the stage trace.
+    the stage trace.  This is the one-shot reference implementation of
+    the pipeline's ``build-bdds -> reorder -> decompose -> rewrite``
+    stages (:mod:`repro.api.stages`); the equivalence tests pin the two
+    forms to bit-identical outputs.
     """
     if config is None:
         config = BdsFlowConfig()
@@ -129,39 +132,25 @@ def bds_optimize(
 
 
 def bdsmaj_flow(network: LogicNetwork, config: BdsFlowConfig | None = None) -> FlowResult:
-    """The paper's flow: BDS decomposition with majority logic."""
-    if config is None:
-        config = BdsFlowConfig(enable_majority=True)
-    with Stopwatch() as timer:
-        decomposed, counts, trace = bds_optimize(network, config)
-    return finish_flow(
-        "bds-maj",
-        network,
-        decomposed,
-        timer.seconds,
-        node_counts=counts,
-        library=config.library,
-        verify=config.verify,
-        cache_stats=trace.cache_summary(),
-    )
+    """The paper's flow: BDS decomposition with majority logic.
+
+    Compatibility shim over the ``"bds-maj"`` pipeline in
+    :mod:`repro.api` (``LoadInput -> BuildBdds -> Reorder -> Decompose
+    -> Rewrite -> Map -> Verify``); prefer
+    ``get_pipeline("bds-maj").run(...)`` in new code.
+    """
+    from ..api import get_pipeline
+
+    return get_pipeline("bds-maj").run(network, config)
 
 
 def bdspga_flow(network: LogicNetwork, config: BdsFlowConfig | None = None) -> FlowResult:
-    """The BDS-PGA baseline: same engine, majority disabled."""
-    if config is None:
-        config = BdsFlowConfig(enable_majority=False)
-    else:
-        config.enable_majority = False
-        config.engine.enable_majority = False
-    with Stopwatch() as timer:
-        decomposed, counts, trace = bds_optimize(network, config)
-    return finish_flow(
-        "bds-pga",
-        network,
-        decomposed,
-        timer.seconds,
-        node_counts=counts,
-        library=config.library,
-        verify=config.verify,
-        cache_stats=trace.cache_summary(),
-    )
+    """The BDS-PGA baseline: same engine, majority disabled.
+
+    Compatibility shim over the ``"bds-pga"`` pipeline in
+    :mod:`repro.api`; a caller-provided config keeps being mutated to
+    ``enable_majority=False`` (the historical contract).
+    """
+    from ..api import get_pipeline
+
+    return get_pipeline("bds-pga").run(network, config)

@@ -41,6 +41,36 @@ class FlowResult:
         return self.timing.row()
 
 
+def map_and_analyze(
+    optimized: LogicNetwork, library: CellLibrary | None = None
+) -> tuple[MappedCircuit, TimingReport]:
+    """The mapping tail shared by every flow: technology map the
+    optimized network and run STA on the result."""
+    mapped = map_network(optimized, library)
+    return mapped, analyze(mapped)
+
+
+def verify_or_raise(
+    flow_name: str,
+    source: LogicNetwork,
+    optimized: LogicNetwork,
+    mapped: MappedCircuit,
+) -> EquivalenceResult:
+    """The verification rule shared by every flow: the optimized network
+    AND the mapped netlist must both match the source.  Raises
+    ``AssertionError`` on a counterexample (a synthesis flow that broke
+    its circuit must never report success)."""
+    equivalence = check_equivalence(source, optimized)
+    if equivalence.equivalent:
+        equivalence = check_equivalence(source, mapped.network)
+    if not equivalence.equivalent:
+        raise AssertionError(
+            f"{flow_name} broke {source.name}: counterexample "
+            f"{equivalence.counterexample}"
+        )
+    return equivalence
+
+
 def finish_flow(
     flow_name: str,
     source: LogicNetwork,
@@ -51,19 +81,15 @@ def finish_flow(
     verify: bool = True,
     cache_stats: dict[str, int | float] | None = None,
 ) -> FlowResult:
-    """Common tail of every flow: map, time, verify."""
-    mapped = map_network(optimized, library)
-    timing = analyze(mapped)
-    equivalence = None
-    if verify:
-        equivalence = check_equivalence(source, optimized)
-        if equivalence.equivalent:
-            equivalence = check_equivalence(source, mapped.network)
-        if not equivalence.equivalent:
-            raise AssertionError(
-                f"{flow_name} broke {source.name}: counterexample "
-                f"{equivalence.counterexample}"
-            )
+    """Common tail of every flow: map, time, verify.
+
+    This is the one-shot form; the stage pipelines in
+    :mod:`repro.api` run the same :func:`map_and_analyze` /
+    :func:`verify_or_raise` helpers as separate ``map`` and ``verify``
+    stages.
+    """
+    mapped, timing = map_and_analyze(optimized, library)
+    equivalence = verify_or_raise(flow_name, source, optimized, mapped) if verify else None
     return FlowResult(
         flow=flow_name,
         benchmark=source.name,

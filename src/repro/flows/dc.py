@@ -24,7 +24,7 @@ from ..mapping.library import CellLibrary
 from ..mapping.mapper import classify_gate
 from ..network import LogicNetwork, PartitionConfig, partition_with_bdds
 from ..sop import GateEmitter, expression_from_cover, factor_expression, simplify_cover
-from .common import FlowResult, Stopwatch, finish_flow
+from .common import FlowResult
 
 
 @dataclass
@@ -40,7 +40,12 @@ class DcFlowConfig:
 
 
 def dc_optimize(network: LogicNetwork, config: DcFlowConfig | None = None) -> LogicNetwork:
-    """Collapse / minimize / factor, preserving RTL XOR structure."""
+    """Collapse / minimize / factor, preserving RTL XOR structure.
+
+    One-shot reference implementation of the pipeline's ``collapse ->
+    rewrite`` stages (:mod:`repro.api.stages`); the equivalence tests
+    pin the two forms to identical networks.
+    """
     if config is None:
         config = DcFlowConfig()
 
@@ -58,6 +63,7 @@ def dc_optimize(network: LogicNetwork, config: DcFlowConfig | None = None) -> Lo
         max_duplication=config.partition.max_duplication,
         duplication_literals=config.partition.duplication_literals,
         hard_signals=frozenset(hard),
+        cache_policy=config.partition.cache_policy,
     )
 
     builder = TreeBuilder()
@@ -109,15 +115,9 @@ def dc_optimize(network: LogicNetwork, config: DcFlowConfig | None = None) -> Lo
 
 
 def dc_flow(network: LogicNetwork, config: DcFlowConfig | None = None) -> FlowResult:
-    if config is None:
-        config = DcFlowConfig()
-    with Stopwatch() as timer:
-        optimized = dc_optimize(network, config)
-    return finish_flow(
-        "dc",
-        network,
-        optimized,
-        timer.seconds,
-        library=config.library,
-        verify=config.verify,
-    )
+    """Compatibility shim over the ``"dc"`` pipeline in
+    :mod:`repro.api` (``LoadInput -> Collapse -> Rewrite -> Map ->
+    Verify``)."""
+    from ..api import get_pipeline
+
+    return get_pipeline("dc").run(network, config)

@@ -72,13 +72,16 @@ def supernode_bdd(
     members: set[str],
     input_order: Sequence[str],
     max_nodes: int | None = None,
+    cache_policy: str = "fifo",
 ) -> tuple[BDD, int]:
     """Local BDD of the cone ``members`` rooted at ``output``.
 
     Signals outside ``members`` are treated as free variables in
     ``input_order``.  Raises :class:`BddSizeExceeded` past ``max_nodes``.
+    ``cache_policy`` selects the manager's operation-cache eviction
+    policy (see :class:`repro.bdd.OperationCache`).
     """
-    mgr = BDD(list(input_order))
+    mgr = BDD(list(input_order), cache_policy=cache_policy)
     cache: dict[str, int] = {name: mgr.var(name) for name in input_order}
 
     # Iterative post-order build: member chains can be thousands of

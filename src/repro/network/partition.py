@@ -45,6 +45,9 @@ class PartitionConfig:
     #: Node names that must stay supernode outputs and are never
     #: absorbed or duplicated (e.g. XOR gates the DC-like flow keeps).
     hard_signals: frozenset[str] = frozenset()
+    #: Eviction policy of every local BDD manager's operation cache
+    #: ("fifo" | "lru"); FIFO is the measured baseline.
+    cache_policy: str = "fifo"
 
 
 @dataclass
@@ -174,6 +177,7 @@ def build_local_bdd(
         supernode.members,
         supernode.inputs,
         max_nodes=config.max_bdd_nodes,
+        cache_policy=config.cache_policy,
     )
 
 
@@ -197,7 +201,12 @@ def partition_with_bdds(
         singleton.inputs = _input_order(network, singleton)
         # Single SOP nodes cannot blow up: no node budget.
         mgr, root = supernode_bdd(
-            network, name, singleton.members, singleton.inputs, max_nodes=None
+            network,
+            name,
+            singleton.members,
+            singleton.inputs,
+            max_nodes=None,
+            cache_policy=config.cache_policy,
         )
         built[name] = (singleton, mgr, root)
 

@@ -1,0 +1,131 @@
+"""Tests for the pluggable input-source layer (`repro.api.inputs`)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    BlifFileSource,
+    BlifGlobSource,
+    InputItem,
+    InputSourceError,
+    RegistrySource,
+    resolve_source,
+)
+from repro.benchgen import BENCHMARKS, build_benchmark
+from repro.benchgen.registry import benchmark_keys
+from repro.network import to_blif
+
+
+def _write_blifs(directory, keys):
+    paths = []
+    for key in keys:
+        path = directory / f"{key}.blif"
+        path.write_text(to_blif(build_benchmark(key)))
+        paths.append(path)
+    return paths
+
+
+class TestRegistrySource:
+    def test_default_is_whole_registry_in_table_order(self):
+        items = RegistrySource().items()
+        assert [item.name for item in items] == list(BENCHMARKS)
+        assert all(item.kind == "registry" for item in items)
+
+    def test_category_filter(self):
+        items = RegistrySource(category="hdl").items()
+        assert [item.name for item in items] == benchmark_keys("hdl")
+
+    def test_explicit_keys_preserved_in_order(self):
+        items = RegistrySource(["f51m", "alu2"]).items()
+        assert [item.name for item in items] == ["f51m", "alu2"]
+
+    def test_unknown_key_fails_eagerly(self):
+        with pytest.raises(InputSourceError, match="nope"):
+            RegistrySource(["alu2", "nope"])
+
+    def test_items_load(self):
+        (item,) = RegistrySource(["alu2"]).items()
+        network = item.load()
+        assert network.name == "alu2"
+
+
+class TestBlifFileSource:
+    def test_single_file(self, tmp_path):
+        (path,) = _write_blifs(tmp_path, ["alu2"])
+        (item,) = BlifFileSource(str(path)).items()
+        assert item.name == "alu2"
+        assert item.kind == "blif"
+        assert item.load().name == "alu2"
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(InputSourceError, match="no such BLIF file"):
+            BlifFileSource(str(tmp_path / "ghost.blif"))
+
+
+class TestBlifGlobSource:
+    def test_sorted_order_regardless_of_creation_order(self, tmp_path):
+        # Create out of lexicographic order on purpose.
+        _write_blifs(tmp_path, ["vda", "alu2", "f51m"])
+        items = BlifGlobSource(str(tmp_path / "*.blif")).items()
+        assert [item.name for item in items] == ["alu2", "f51m", "vda"]
+
+    def test_deterministic_across_instances(self, tmp_path):
+        _write_blifs(tmp_path, ["f51m", "alu2"])
+        pattern = str(tmp_path / "*.blif")
+        first = BlifGlobSource(pattern).items()
+        second = BlifGlobSource(pattern).items()
+        assert first == second
+
+    def test_empty_glob_is_an_error(self, tmp_path):
+        with pytest.raises(InputSourceError, match="matched no BLIF files"):
+            BlifGlobSource(str(tmp_path / "*.blif"))
+
+    def test_items_load_parsed_networks(self, tmp_path):
+        _write_blifs(tmp_path, ["alu2"])
+        (item,) = BlifGlobSource(str(tmp_path / "*.blif")).items()
+        network = item.load()
+        assert set(network.outputs) == set(build_benchmark("alu2").outputs)
+
+
+class TestResolveSource:
+    def test_registry_key_wins(self):
+        source = resolve_source("alu2")
+        assert isinstance(source, RegistrySource)
+
+    def test_path_becomes_file_source(self, tmp_path):
+        (path,) = _write_blifs(tmp_path, ["alu2"])
+        assert isinstance(resolve_source(str(path)), BlifFileSource)
+
+    def test_glob_becomes_glob_source(self, tmp_path):
+        _write_blifs(tmp_path, ["alu2", "f51m"])
+        source = resolve_source(str(tmp_path / "*.blif"))
+        assert isinstance(source, BlifGlobSource)
+        assert len(source.items()) == 2
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        with pytest.raises(InputSourceError):
+            resolve_source(str(tmp_path / "missing.blif"))
+
+
+class TestInputItem:
+    def test_picklable_for_worker_pools(self, tmp_path):
+        (path,) = _write_blifs(tmp_path, ["alu2"])
+        for item in (
+            InputItem(name="alu2", kind="registry"),
+            InputItem(name="alu2", kind="blif", path=str(path)),
+        ):
+            clone = pickle.loads(pickle.dumps(item))
+            assert clone == item
+            assert clone.load().name == "alu2"
+
+    def test_origin(self, tmp_path):
+        assert InputItem(name="alu2").origin == "alu2"
+        item = InputItem(name="x", kind="blif", path="/some/x.blif")
+        assert item.origin == "/some/x.blif"
+
+    def test_unknown_kind_rejected_on_load(self):
+        with pytest.raises(InputSourceError):
+            InputItem(name="x", kind="weird").load()

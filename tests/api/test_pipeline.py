@@ -1,0 +1,290 @@
+"""Tests for the composable pipeline layer (`repro.api`).
+
+The centerpiece is the stage-composition equivalence suite: every
+registered pipeline must produce a ``FlowResult`` identical — down to
+the serialized networks — to the pre-refactor one-shot flow recipe
+(`bds_optimize`/`dc_optimize`/the resyn2 chain + `finish_flow`) on
+real registry circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import aig_to_network, network_to_aig, resyn2
+from repro.api import (
+    FunctionStage,
+    InputItem,
+    Pipeline,
+    PipelineError,
+    PipelineObserver,
+    PipelineRegistry,
+    get_pipeline,
+    pipeline_names,
+    register_pipeline,
+    stage,
+    standard_stages,
+)
+from repro.benchgen import build_benchmark
+from repro.flows import (
+    FLOWS,
+    BdsFlowConfig,
+    DcFlowConfig,
+    bds_optimize,
+    dc_optimize,
+    finish_flow,
+)
+from repro.network import to_blif
+
+#: Registry circuits the equivalence suite pins (>= 3, per the issue).
+EQUIVALENCE_CIRCUITS = ("alu2", "f51m", "vda")
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {key: build_benchmark(key) for key in EQUIVALENCE_CIRCUITS}
+
+
+def reference_flow(flow: str, network):
+    """The pre-refactor flow recipe, reproduced verbatim."""
+    if flow in ("bds-maj", "bds-pga"):
+        config = BdsFlowConfig(enable_majority=(flow == "bds-maj"), verify=False)
+        decomposed, counts, trace = bds_optimize(network, config)
+        return finish_flow(
+            flow,
+            network,
+            decomposed,
+            0.0,
+            node_counts=counts,
+            verify=False,
+            cache_stats=trace.cache_summary(),
+        )
+    if flow == "abc":
+        optimized = aig_to_network(
+            resyn2(network_to_aig(network)), name=network.name, detect_xor=True
+        )
+        return finish_flow(flow, network, optimized, 0.0, verify=False)
+    optimized = dc_optimize(network, DcFlowConfig(verify=False))
+    return finish_flow(flow, network, optimized, 0.0, verify=False)
+
+
+def pipeline_config(flow: str):
+    if flow in ("bds-maj", "bds-pga"):
+        return BdsFlowConfig(enable_majority=(flow == "bds-maj"), verify=False)
+    if flow == "dc":
+        return DcFlowConfig(verify=False)
+    from repro.flows import AbcFlowConfig
+
+    return AbcFlowConfig(verify=False)
+
+
+def assert_results_identical(actual, expected):
+    """Every deterministic ``FlowResult`` field must match (wall-clock
+    timings are the one legitimately nondeterministic field)."""
+    assert actual.flow == expected.flow
+    assert actual.benchmark == expected.benchmark
+    assert actual.node_counts == expected.node_counts
+    assert actual.cache_stats == expected.cache_stats
+    assert actual.total_nodes == expected.total_nodes
+    assert actual.table2_row() == expected.table2_row()
+    assert to_blif(actual.optimized) == to_blif(expected.optimized)
+    assert to_blif(actual.mapped.network) == to_blif(expected.mapped.network)
+    assert actual.mapped.cell_histogram() == expected.mapped.cell_histogram()
+
+
+class TestStageCompositionEquivalence:
+    @pytest.mark.parametrize("flow", ["bds-maj", "bds-pga", "abc", "dc"])
+    @pytest.mark.parametrize("circuit", EQUIVALENCE_CIRCUITS)
+    def test_pipeline_matches_prerefactor_flow(self, networks, flow, circuit):
+        network = networks[circuit]
+        expected = reference_flow(flow, network)
+        actual = get_pipeline(flow).run(network, pipeline_config(flow))
+        assert_results_identical(actual, expected)
+
+    def test_flows_shim_routes_through_registry(self, networks):
+        network = networks["alu2"]
+        shim = FLOWS["bds-maj"](network, BdsFlowConfig(verify=False))
+        direct = get_pipeline("bds-maj").run(network, BdsFlowConfig(verify=False))
+        assert_results_identical(shim, direct)
+
+    def test_verification_still_runs_and_passes(self, networks):
+        result = get_pipeline("bds-maj").run(networks["alu2"])
+        assert result.equivalence is not None and result.equivalence.equivalent
+
+    def test_pga_pipeline_forces_majority_off_on_shared_config(self, networks):
+        config = BdsFlowConfig(verify=False)  # enable_majority defaults True
+        result = get_pipeline("bds-pga").run(networks["alu2"], config)
+        assert result.node_counts["maj"] == 0
+        assert config.enable_majority is False
+
+
+class TestPipelineExecution:
+    def test_accepts_registry_key_string(self):
+        result = get_pipeline("bds-maj").run("alu2", BdsFlowConfig(verify=False))
+        assert result.benchmark == "alu2"
+
+    def test_accepts_input_item(self):
+        item = InputItem(name="alu2", kind="registry")
+        result = get_pipeline("bds-maj").run(item, BdsFlowConfig(verify=False))
+        assert result.benchmark == "alu2"
+
+    def test_rejects_unknown_source_type(self):
+        with pytest.raises(PipelineError, match="cannot run pipeline"):
+            get_pipeline("bds-maj").run(42)
+
+    def test_run_context_records_timings_and_events(self):
+        network = build_benchmark("alu2")
+        ctx = get_pipeline("bds-maj").run_context(network, BdsFlowConfig(verify=False))
+        stage_names = [t.stage for t in ctx.timings]
+        assert stage_names == [
+            "load-input",
+            "build-bdds",
+            "reorder",
+            "decompose",
+            "rewrite",
+            "map",
+            "verify",
+        ]
+        assert all(t.seconds >= 0.0 for t in ctx.timings)
+        # Events: one start + one end per stage, interleaved in order.
+        kinds = [(e.kind, e.stage) for e in ctx.events]
+        assert kinds[:2] == [
+            ("stage_start", "load-input"),
+            ("stage_end", "load-input"),
+        ]
+        assert len(ctx.events) == 2 * len(stage_names)
+        # Only the optimization stages feed optimize_seconds.
+        optimize_total = sum(
+            t.seconds
+            for t in ctx.timings
+            if t.stage in ("build-bdds", "reorder", "decompose", "rewrite")
+        )
+        assert ctx.optimize_seconds == pytest.approx(optimize_total)
+
+    def test_observer_hooks_fire_in_order(self):
+        seen: list[tuple[str, str]] = []
+
+        class Recorder(PipelineObserver):
+            def on_stage_start(self, ctx, stage):
+                seen.append(("start", stage.name))
+
+            def on_stage_end(self, ctx, stage, seconds):
+                assert seconds >= 0.0
+                seen.append(("end", stage.name))
+
+        pipeline = get_pipeline("bds-maj").optimize_prefix()
+        pipeline.run_context(
+            build_benchmark("alu2"),
+            BdsFlowConfig(verify=False),
+            observers=[Recorder()],
+        )
+        assert seen[0] == ("start", "load-input")
+        assert seen[-1] == ("end", "rewrite")
+        assert len(seen) == 2 * len(pipeline.stages)
+        # Starts and ends interleave: every stage closes before the next opens.
+        for i in range(0, len(seen), 2):
+            assert seen[i][0] == "start" and seen[i + 1][0] == "end"
+            assert seen[i][1] == seen[i + 1][1]
+
+    def test_callback_hooks(self):
+        started: list[str] = []
+        get_pipeline("abc").run(
+            build_benchmark("alu2"),
+            pipeline_config("abc"),
+            on_stage_start=lambda ctx, s: started.append(s.name),
+        )
+        assert started == ["load-input", "strash", "rewrite", "emit", "map", "verify"]
+
+
+class TestComposition:
+    def test_up_to_stops_before_mapping(self):
+        pipeline = get_pipeline("bds-maj").up_to("rewrite")
+        ctx = pipeline.run_context(build_benchmark("alu2"), BdsFlowConfig(verify=False))
+        assert ctx.optimized is not None
+        assert ctx.mapped is None
+        with pytest.raises(PipelineError, match="did not run a map stage"):
+            ctx.to_result()
+
+    def test_optimize_prefix_matches_bds_optimize(self):
+        network = build_benchmark("f51m")
+        decomposed, counts, trace = bds_optimize(
+            network, BdsFlowConfig(verify=False)
+        )
+        ctx = get_pipeline("bds-maj").optimize_prefix().run_context(
+            network, BdsFlowConfig(verify=False)
+        )
+        assert ctx.node_counts == counts
+        assert ctx.cache_stats == trace.cache_summary()
+        assert to_blif(ctx.optimized) == to_blif(decomposed)
+
+    def test_unknown_stage_name_raises(self):
+        with pytest.raises(PipelineError, match="no stage"):
+            get_pipeline("bds-maj").up_to("fuse-layers")
+
+    def test_replace_and_insert_return_new_pipelines(self):
+        base = get_pipeline("bds-maj")
+        marker = FunctionStage("noop", lambda ctx: ctx)
+        inserted = base.insert_after("rewrite", marker)
+        assert "noop" in inserted.stage_names()
+        assert "noop" not in base.stage_names()
+        swapped = base.replace("verify", marker)
+        assert swapped.stage_names().count("noop") == 1
+
+    def test_custom_stage_via_decorator_runs(self):
+        @stage("count-outputs")
+        def count_outputs(ctx):
+            ctx.scratch["num_outputs"] = len(ctx.network.outputs)
+
+        pipeline = get_pipeline("bds-maj").up_to("rewrite").insert_after(
+            "load-input", count_outputs
+        )
+        ctx = pipeline.run_context(build_benchmark("alu2"), BdsFlowConfig(verify=False))
+        assert ctx.scratch["num_outputs"] == len(build_benchmark("alu2").outputs)
+
+    def test_duplicate_stage_names_rejected(self):
+        noop = FunctionStage("noop", lambda ctx: ctx)
+        with pytest.raises(PipelineError, match="duplicate"):
+            Pipeline("bad", [noop, FunctionStage("noop", lambda ctx: ctx)])
+
+
+class TestRegistry:
+    def test_builtin_pipelines_in_paper_order(self):
+        assert pipeline_names()[:4] == ["bds-maj", "bds-pga", "abc", "dc"]
+
+    def test_unknown_pipeline_raises(self):
+        with pytest.raises(PipelineError, match="unknown pipeline"):
+            get_pipeline("bds-2025")
+
+    def test_custom_flow_is_a_one_liner(self):
+        S = standard_stages
+        name = "bds-maj-nosift-test"
+        pipeline = register_pipeline(
+            Pipeline(
+                name,
+                [
+                    S.LoadInput(),
+                    S.BuildBdds(),
+                    S.Decompose(),
+                    S.RewriteTrees(),
+                    S.MapNetwork(),
+                    S.VerifyEquivalence(),
+                ],
+                default_config=lambda: BdsFlowConfig(reorder=False, verify=False),
+            )
+        )
+        assert get_pipeline(name) is pipeline
+        result = pipeline.run(build_benchmark("alu2"))
+        assert result.flow == name
+        assert result.total_nodes > 0
+
+    def test_duplicate_registration_needs_replace(self):
+        registry = PipelineRegistry()
+        noop = FunctionStage("noop", lambda ctx: ctx)
+        pipeline = Pipeline("p", [noop])
+        registry.register(pipeline)
+        with pytest.raises(PipelineError, match="already registered"):
+            registry.register(Pipeline("p", [noop]))
+        replacement = Pipeline("p", [noop])
+        assert registry.register(replacement, replace=True) is replacement
+        assert registry.get("p") is replacement
+        assert "p" in registry and len(registry) == 1

@@ -15,11 +15,19 @@ SMALL = ["alu2", "f51m"]
 class TestConfig:
     def test_rejects_unknown_flow(self):
         with pytest.raises(ValueError):
-            BatchConfig(flow="abc")
+            BatchConfig(flow="not-a-flow")
+
+    def test_accepts_every_registered_flow(self):
+        for flow in ("bds-maj", "bds-pga", "abc", "dc"):
+            assert BatchConfig(flow=flow).flow == flow
 
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError):
             BatchConfig(workers=0)
+
+    def test_rejects_unknown_cache_policy(self):
+        with pytest.raises(ValueError):
+            BatchConfig(cache_policy="random")
 
 
 class TestDeterminism:
@@ -122,6 +130,100 @@ class TestReportContent:
         assert payload["summary"]["circuits"] == 1
 
 
+class TestFileInputs:
+    """Batches over BLIF files via the pluggable input layer."""
+
+    @pytest.fixture(scope="class")
+    def blif_dir(self, tmp_path_factory):
+        from repro.benchgen import build_benchmark
+        from repro.network import to_blif
+
+        directory = tmp_path_factory.mktemp("blifs")
+        for key in ("f51m", "alu2"):
+            (directory / f"{key}.blif").write_text(to_blif(build_benchmark(key)))
+        return directory
+
+    def test_glob_source_batch_deterministic_across_workers(self, blif_dir):
+        from repro.api import BlifGlobSource
+
+        source = BlifGlobSource(str(blif_dir / "*.blif"))
+        serial = run_batch(source, BatchConfig(workers=1))
+        parallel = run_batch(source, BatchConfig(workers=4))
+        assert serial.to_json() == parallel.to_json()
+        # Sorted glob order, not creation order.
+        assert [c.benchmark for c in serial.circuits] == ["alu2", "f51m"]
+        assert all(c.ok for c in serial.circuits)
+
+    def test_file_and_registry_rows_agree(self, blif_dir):
+        from repro.api import BlifFileSource
+
+        via_file = run_batch(
+            BlifFileSource(str(blif_dir / "f51m.blif")), BatchConfig()
+        ).circuits[0]
+        via_registry = run_batch(["f51m"], BatchConfig()).circuits[0]
+        assert via_file.node_counts == via_registry.node_counts
+        assert via_file.cache == via_registry.cache
+        assert via_file.steps == via_registry.steps
+
+    def test_mixed_items_and_keys(self, blif_dir):
+        from repro.api import InputItem
+
+        items = [
+            "alu2",
+            InputItem(name="f51m", kind="blif", path=str(blif_dir / "f51m.blif")),
+        ]
+        report = run_batch(items, BatchConfig())
+        assert [c.benchmark for c in report.circuits] == ["alu2", "f51m"]
+        assert all(c.ok for c in report.circuits)
+
+    def test_unreadable_file_is_isolated(self, blif_dir):
+        from repro.api import InputItem
+
+        items = [
+            InputItem(name="ghost", kind="blif", path=str(blif_dir / "ghost.blif")),
+            "f51m",
+        ]
+        report = run_batch(items, BatchConfig())
+        assert [c.status for c in report.circuits] == ["error", "ok"]
+        assert "ghost" in (report.circuits[0].error or "")
+
+
+class TestNonBddFlows:
+    """The pipeline registry lets the batch service run abc/dc too."""
+
+    @pytest.mark.parametrize("flow", ["abc", "dc"])
+    def test_flow_runs_and_verifies(self, flow):
+        report = run_batch(["f51m"], BatchConfig(flow=flow, verify=True))
+        circuit = report.circuits[0]
+        assert circuit.ok
+        assert circuit.verified is True
+        # Non-BDS flows do not define Table-I counts or trace steps.
+        assert circuit.node_counts == {}
+        assert circuit.steps == {}
+
+    def test_deterministic_across_workers(self):
+        keys = ["alu2", "f51m"]
+        serial = run_batch(keys, BatchConfig(flow="dc", workers=1))
+        parallel = run_batch(keys, BatchConfig(flow="dc", workers=4))
+        assert serial.to_json() == parallel.to_json()
+
+
+class TestCachePolicy:
+    def test_lru_batch_is_deterministic(self):
+        config = BatchConfig(cache_policy="lru")
+        first = run_batch(["f51m"], config)
+        second = run_batch(["f51m"], config)
+        assert first.to_json() == second.to_json()
+        assert first.circuits[0].cache["hits"] > 0
+
+    def test_fifo_default_counters_unchanged(self):
+        """The default policy must reproduce the historical counters
+        (FIFO eviction order is part of the determinism contract)."""
+        default = run_batch(["f51m"], BatchConfig())
+        explicit = run_batch(["f51m"], BatchConfig(cache_policy="fifo"))
+        assert default.to_json() == explicit.to_json()
+
+
 class TestCli:
     def test_batch_subcommand_writes_report(self, tmp_path, capsys):
         from repro.experiments.cli import main as cli_main
@@ -140,5 +242,92 @@ class TestCli:
         from repro.experiments.cli import main as cli_main
 
         assert cli_main(["batch", "--benchmarks", "f51m", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("benchmark,flow,status,")
+
+    def test_batch_files_flag(self, tmp_path, capsys):
+        from repro.benchgen import build_benchmark
+        from repro.experiments.cli import main as cli_main
+        from repro.network import to_blif
+
+        (tmp_path / "f51m.blif").write_text(to_blif(build_benchmark("f51m")))
+        out = tmp_path / "report.json"
+        assert (
+            cli_main(
+                ["batch", "--files", str(tmp_path / "*.blif"), "--output", str(out)]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert [c["benchmark"] for c in payload["circuits"]] == ["f51m"]
+        assert payload["summary"]["failed"] == 0
+
+    def test_batch_files_empty_glob_is_clear_error(self, tmp_path):
+        from repro.experiments.cli import main as cli_main
+
+        with pytest.raises(SystemExit, match="matched no BLIF files"):
+            cli_main(["batch", "--files", str(tmp_path / "*.blif")])
+
+    def test_batch_files_combined_with_benchmarks(self, tmp_path, capsys):
+        from repro.benchgen import build_benchmark
+        from repro.experiments.cli import main as cli_main
+        from repro.network import to_blif
+
+        (tmp_path / "f51m.blif").write_text(to_blif(build_benchmark("f51m")))
+        out = tmp_path / "report.json"
+        assert (
+            cli_main(
+                [
+                    "batch",
+                    "--benchmarks",
+                    "alu2",
+                    "--files",
+                    str(tmp_path / "*.blif"),
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert [c["benchmark"] for c in payload["circuits"]] == ["alu2", "f51m"]
+
+    def test_batch_files_with_category_keeps_registry_rows(self, tmp_path):
+        """An explicit --category is a registry request even when the
+        batch also pulls in globbed files."""
+        from repro.benchgen import build_benchmark
+        from repro.benchgen.registry import benchmark_keys
+        from repro.experiments.cli import main as cli_main
+        from repro.network import to_blif
+
+        (tmp_path / "zz_extra.blif").write_text(to_blif(build_benchmark("f51m")))
+        out = tmp_path / "report.json"
+        assert (
+            cli_main(
+                [
+                    "batch",
+                    "--category",
+                    "mcnc",
+                    "--files",
+                    str(tmp_path / "*.blif"),
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        names = [c["benchmark"] for c in payload["circuits"]]
+        assert names == benchmark_keys("mcnc") + ["zz_extra"]
+
+    def test_batch_cache_policy_flag(self, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        assert (
+            cli_main(
+                ["batch", "--benchmarks", "f51m", "--cache-policy", "lru", "--format", "csv"]
+            )
+            == 0
+        )
         out = capsys.readouterr().out
         assert out.startswith("benchmark,flow,status,")
