@@ -50,7 +50,7 @@ from .inputs import (
     RegistrySource,
     resolve_source,
 )
-from .pipeline import Pipeline, PipelineObserver
+from .pipeline import Pipeline, PipelineObserver, StageEventExporter
 from .registry import (
     DEFAULT_REGISTRY,
     PipelineRegistry,
@@ -75,6 +75,7 @@ __all__ = [
     "RegistrySource",
     "Stage",
     "StageEvent",
+    "StageEventExporter",
     "StageTiming",
     "SynthesisContext",
     "get_pipeline",

@@ -51,6 +51,14 @@ class StageEvent:
     stage: str
     seconds: float | None = None
 
+    def to_payload(self) -> dict[str, str | float]:
+        """Wire-ready dict (what the serving layer streams); ``seconds``
+        is included only on end events."""
+        payload: dict[str, str | float] = {"kind": self.kind, "stage": self.stage}
+        if self.seconds is not None:
+            payload["seconds"] = self.seconds
+        return payload
+
 
 @dataclass
 class SynthesisContext:

@@ -41,6 +41,30 @@ class PipelineObserver:
         """Called after ``stage`` finished."""
 
 
+class StageEventExporter(PipelineObserver):
+    """Observer that forwards every stage start/end as a
+    :class:`~repro.api.StageEvent` to ``emit``, as it happens.
+
+    This mirrors the events a run appends to ``ctx.events``, but live —
+    the seam through which the batch service and the async serving
+    layer (:mod:`repro.serve`) stream per-stage progress while a
+    pipeline is still running.  End events carry the stage's wall-clock
+    seconds, exactly like the :class:`~repro.api.StageTiming` recorded
+    on the context.
+    """
+
+    def __init__(self, emit: Callable[[StageEvent], None]) -> None:
+        self._emit = emit
+
+    def on_stage_start(self, ctx: SynthesisContext, stage: Stage) -> None:
+        self._emit(StageEvent("stage_start", stage.name))
+
+    def on_stage_end(
+        self, ctx: SynthesisContext, stage: Stage, seconds: float
+    ) -> None:
+        self._emit(StageEvent("stage_end", stage.name, seconds))
+
+
 class _CallbackObserver(PipelineObserver):
     """Adapter wrapping plain callables into an observer."""
 

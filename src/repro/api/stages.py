@@ -225,6 +225,7 @@ class CollapseNetwork:
             duplication_literals=config.partition.duplication_literals,
             hard_signals=frozenset(hard),
             cache_policy=config.partition.cache_policy,
+            cache_capacity=config.partition.cache_capacity,
         )
         builder = TreeBuilder()
         emitter = GateEmitter(

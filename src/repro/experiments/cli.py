@@ -9,6 +9,8 @@ Commands mirror the paper's experiments:
 * ``batch`` — parallel batch synthesis over many benchmarks and/or
   globs of BLIF files (``--files``) with a deterministic JSON/CSV
   report (byte-identical for any worker count);
+* ``serve`` — the async HTTP synthesis service (:mod:`repro.serve`):
+  submit/status/result/cancel endpoints plus streamed progress;
 * ``list`` — available benchmarks.
 
 Circuit arguments resolve through the pluggable input layer of
@@ -27,6 +29,7 @@ from ..api import (
     get_pipeline,
     resolve_source,
 )
+from ..bdd.manager import DEFAULT_CACHE_CAPACITY
 from ..benchgen import BENCHMARKS
 from ..benchgen.registry import benchmark_keys
 from ..flows import BATCH_FLOWS, FLOWS, BatchConfig, run_batch
@@ -34,6 +37,30 @@ from ..network import to_blif
 from .figures import figure1, figure2, figure3
 from .table1 import format_table1, run_table1
 from .table2 import format_table2, run_table2
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for options that must be >= 1 (``--workers``,
+    ``--cache-capacity``, ``--concurrency``): a clean usage error
+    instead of a traceback from deep inside the batch layer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _port(text: str) -> int:
+    """argparse type for TCP ports (0 = ephemeral)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(f"port must be in 0..65535, got {value}")
+    return value
 
 
 def _parse_keys(text: str | None) -> list[str] | None:
@@ -89,7 +116,9 @@ def main(argv: list[str] | None = None) -> int:
         "--category", choices=["mcnc", "hdl"], help="restrict to one registry category"
     )
     batch.add_argument("--flow", default="bds-maj", choices=sorted(BATCH_FLOWS))
-    batch.add_argument("--workers", type=int, default=1, help="worker processes")
+    batch.add_argument(
+        "--workers", type=_positive_int, default=1, help="worker processes (>= 1)"
+    )
     batch.add_argument("--verify", action="store_true", help="equivalence-check outputs")
     batch.add_argument(
         "--cache-policy",
@@ -98,12 +127,32 @@ def main(argv: list[str] | None = None) -> int:
         help="BDD operation-cache eviction policy (fifo keeps the "
         "published counters)",
     )
+    batch.add_argument(
+        "--cache-capacity",
+        type=_positive_int,
+        default=DEFAULT_CACHE_CAPACITY,
+        help="BDD operation-cache entries per manager (>= 1; the "
+        "default keeps the published counters)",
+    )
     batch.add_argument("--format", choices=["json", "csv"], default="json")
     batch.add_argument("--output", help="write the report to a file (default: stdout)")
     batch.add_argument(
         "--timings",
         action="store_true",
         help="include wall-clock fields (report is no longer byte-reproducible)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="async HTTP synthesis service (submit/status/result/cancel)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_port, default=8347)
+    serve.add_argument(
+        "--concurrency",
+        type=_positive_int,
+        default=2,
+        help="jobs synthesized concurrently (>= 1); each job may also "
+        "request its own worker processes",
     )
 
     sub.add_parser("list", help="list available benchmarks")
@@ -166,8 +215,6 @@ def main(argv: list[str] | None = None) -> int:
                 stream.write(to_blif(result.optimized))
             print(f"wrote     : {args.blif_out}")
     elif args.command == "batch":
-        if args.workers < 1:
-            raise SystemExit("--workers must be >= 1")
         keys = _parse_keys(args.benchmarks)
         if keys is None:
             # No explicit keys: a purely file-driven batch runs only the
@@ -203,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             verify=args.verify,
             cache_policy=args.cache_policy,
+            cache_capacity=args.cache_capacity,
         )
         report = run_batch(items, config, progress=_progress)
         if args.format == "csv":
@@ -223,6 +271,15 @@ def main(argv: list[str] | None = None) -> int:
             sys.stdout.write(text)
         if report.failed_circuits:
             return 1
+    elif args.command == "serve":
+        from ..serve import run_server
+
+        return run_server(
+            host=args.host,
+            port=args.port,
+            concurrency=args.concurrency,
+            echo=_progress,
+        )
     elif args.command == "list":
         for key, benchmark in BENCHMARKS.items():
             print(f"{key:12s} {benchmark.display:18s} [{benchmark.category}] {benchmark.description}")

@@ -19,9 +19,11 @@
 from .abc import AbcFlowConfig, abc_flow
 from .batch import (
     BATCH_FLOWS,
+    BatchCancelled,
     BatchConfig,
     BatchReport,
     CircuitReport,
+    batch_pool,
     run_batch,
     synthesize_one,
 )
@@ -44,6 +46,7 @@ __all__ = [
     "BATCH_FLOWS",
     "FLOWS",
     "AbcFlowConfig",
+    "BatchCancelled",
     "BatchConfig",
     "BatchReport",
     "BdsFlowConfig",
@@ -53,6 +56,7 @@ __all__ = [
     "FlowResult",
     "Stopwatch",
     "abc_flow",
+    "batch_pool",
     "bds_optimize",
     "bdsmaj_flow",
     "bdspga_flow",

@@ -38,24 +38,39 @@ Failure isolation
 A circuit that raises does not abort the batch: its report row carries
 ``status="error"`` and the exception text, and every other circuit is
 still synthesized.
+
+Interruption and cancellation
+-----------------------------
+An empty input (a source that resolves to zero items) returns an empty
+— but valid and serializable — :class:`BatchReport` instead of raising.
+``Ctrl-C`` during a parallel batch terminates and joins the worker pool
+before the :class:`KeyboardInterrupt` propagates, so no orphaned
+workers survive the batch.  A caller-supplied ``cancel`` hook (polled
+between circuits, and while waiting on pool results) aborts the batch
+with :class:`BatchCancelled` and reaps the pool the same way — the
+seam the async serving layer (:mod:`repro.serve`) cancels in-flight
+jobs through.
 """
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import io
 import json
 import multiprocessing
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
-from ..bdd.manager import CACHE_POLICIES, combine_cache_stats
+from ..bdd.manager import CACHE_POLICIES, DEFAULT_CACHE_CAPACITY, combine_cache_stats
 from ..benchgen import build_benchmark
 from ..network import check_equivalence
 
 if TYPE_CHECKING:  # pragma: no cover - hints only (runtime import is lazy)
-    from ..api import InputItem, InputSource
+    from ..api import InputItem, InputSource, StageEvent
 
 #: Flows the batch service can run — every pipeline in the default
 #: registry (the two BDD flows define the Table-I node counts and the
@@ -90,6 +105,14 @@ _CSV_COLUMNS = (
 )
 
 
+class BatchCancelled(RuntimeError):
+    """Raised when a ``cancel`` hook asked :func:`run_batch` to stop.
+
+    The partially built report is discarded; the worker pool (if any)
+    has already been terminated and joined when this propagates.
+    """
+
+
 @dataclass(frozen=True)
 class BatchConfig:
     """Batch-run knobs."""
@@ -102,6 +125,9 @@ class BatchConfig:
     #: ("fifo" | "lru").  The FIFO default keeps every published
     #: counter unchanged.
     cache_policy: str = "fifo"
+    #: BDD operation-cache capacity per manager (entries, not bytes).
+    #: The default keeps every published counter unchanged.
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
 
     def __post_init__(self) -> None:
         if self.flow not in BATCH_FLOWS:
@@ -113,6 +139,8 @@ class BatchConfig:
                 f"unknown cache policy {self.cache_policy!r} "
                 f"(known: {CACHE_POLICIES})"
             )
+        if self.cache_capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
 
 
 @dataclass
@@ -262,6 +290,7 @@ def _flow_config(config: BatchConfig):
     else:
         flow_config = DcFlowConfig(verify=False)
     flow_config.partition.cache_policy = config.cache_policy
+    flow_config.partition.cache_capacity = config.cache_capacity
     return flow_config
 
 
@@ -275,7 +304,12 @@ def _load_item(item: "InputItem"):
     return item.load()
 
 
-def synthesize_one(item: "str | InputItem", config: BatchConfig) -> CircuitReport:
+def synthesize_one(
+    item: "str | InputItem",
+    config: BatchConfig,
+    stage_progress: "Callable[[str, StageEvent], None] | None" = None,
+    cancel: Callable[[], bool] | None = None,
+) -> CircuitReport:
     """Synthesize one circuit; never raises for circuit errors.
 
     This is the unit of work a pool worker executes: it loads the
@@ -283,16 +317,40 @@ def synthesize_one(item: "str | InputItem", config: BatchConfig) -> CircuitRepor
     of the flow's registered pipeline with fresh private managers, and
     snapshots node counts, decomposition steps and op-cache counters
     into a :class:`CircuitReport`.
+
+    ``stage_progress`` and ``cancel`` are for in-process callers only
+    (callbacks do not cross the pool's pickle boundary):
+    ``stage_progress`` receives ``(benchmark, StageEvent)`` for every
+    stage start/end as it happens, via the pipeline observer hooks —
+    the serving layer streams per-stage progress from it; ``cancel`` is
+    polled before every stage, raising :class:`BatchCancelled` mid-
+    circuit instead of only between circuits.
     """
-    from ..api import InputItem, get_pipeline
+    from ..api import InputItem, StageEventExporter, get_pipeline
 
     if isinstance(item, str):
         item = InputItem(name=item, kind="registry")
+    benchmark = item.name
+    observers = (
+        ()
+        if stage_progress is None
+        else (StageEventExporter(lambda event: stage_progress(benchmark, event)),)
+    )
+
+    def check_cancel(_ctx, _stage) -> None:
+        if cancel is not None and cancel():
+            raise BatchCancelled(f"cancelled while synthesizing {benchmark!r}")
+
     start = time.perf_counter()
     try:
         network = _load_item(item)
         pipeline = get_pipeline(config.flow).optimize_prefix()
-        ctx = pipeline.run_context(network, _flow_config(config))
+        ctx = pipeline.run_context(
+            network,
+            _flow_config(config),
+            observers=observers,
+            on_stage_start=check_cancel if cancel is not None else None,
+        )
         trace = ctx.scratch.get("trace")
         steps: dict[str, int] = {}
         if trace is not None:
@@ -318,6 +376,8 @@ def synthesize_one(item: "str | InputItem", config: BatchConfig) -> CircuitRepor
             verified=verified,
             seconds=time.perf_counter() - start,
         )
+    except BatchCancelled:
+        raise  # cancellation is a batch-level abort, not a circuit error
     except Exception as exc:  # noqa: BLE001 — failure isolation by design
         return CircuitReport(
             benchmark=item.name,
@@ -350,10 +410,78 @@ def _normalize_items(
     return items
 
 
+def _init_pool_worker() -> None:
+    """Restore default signal handling in forked pool workers.
+
+    Workers inherit the parent's handlers, and when the pool is forked
+    from a process with custom ones — the asyncio serving layer installs
+    loop handlers for SIGTERM/SIGINT — an inherited handler swallows the
+    SIGTERM that ``pool.terminate()`` sends, deadlocking the join that
+    follows.  SIGINT is ignored instead: Ctrl-C is the parent's job (it
+    reaps the pool on :class:`KeyboardInterrupt`), and workers staying
+    quiet avoids a traceback storm from every child.
+    """
+    try:
+        signal.set_wakeup_fd(-1)  # detach any inherited asyncio wakeup pipe
+    except (ValueError, OSError):  # pragma: no cover - platform-dependent
+        pass
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """The start method for a new worker pool.
+
+    From the main thread (the CLI) the platform default is kept — fork
+    on Linux, cheap and byte-compatible with the published reports.
+    From any other thread (the serving layer's executor) forking is
+    unsafe: the child inherits every interpreter lock in whatever state
+    the *other* threads held it, a latent deadlock — so prefer
+    ``forkserver`` (children fork from a clean, single-threaded server
+    process), falling back to ``spawn`` where it is unavailable.
+    """
+    if threading.current_thread() is threading.main_thread():
+        return multiprocessing.get_context()
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else "spawn"
+    )
+
+
+@contextlib.contextmanager
+def batch_pool(processes: int) -> "Iterator[multiprocessing.pool.Pool]":
+    """Worker-pool lifecycle shared by :func:`run_batch` and the serving
+    layer: on a clean exit the pool is closed and joined; on *any*
+    exception — including :class:`KeyboardInterrupt` and
+    :class:`BatchCancelled` — it is terminated and joined before the
+    exception propagates, so no orphaned workers survive the batch.
+    """
+    pool = _pool_context().Pool(processes=processes, initializer=_init_pool_worker)
+    try:
+        yield pool
+    except BaseException:
+        # Ctrl-C / cancellation: reap the workers, then re-raise so the
+        # caller (CLI, serve job runner) still sees the interruption.
+        pool.terminate()
+        pool.join()
+        raise
+    else:
+        pool.close()
+        pool.join()
+
+
+#: How often (seconds) a cancellable parallel batch wakes up to poll its
+#: ``cancel`` hook while waiting for the next pool result.
+_CANCEL_POLL_SECONDS = 0.1
+
+
 def run_batch(
     keys: "Sequence[str | InputItem] | Iterable[str | InputItem] | InputSource",
     config: BatchConfig | None = None,
     progress: Callable[[str], None] | None = None,
+    *,
+    cancel: Callable[[], bool] | None = None,
+    stage_progress: "Callable[[str, StageEvent], None] | None" = None,
 ) -> BatchReport:
     """Synthesize every circuit in ``keys``; report in input order.
 
@@ -362,12 +490,35 @@ def run_batch(
     With ``config.workers == 1`` the batch runs serially in-process
     (simplest to debug, no pickling); otherwise a worker pool processes
     circuits concurrently.  Either way the report content is identical.
+
+    An input resolving to zero items returns an empty (but valid and
+    serializable) report.  ``cancel`` is polled before every pipeline
+    stage of a serial batch, and at ~100 ms intervals while waiting on
+    pool results in a parallel one; once it returns true the batch
+    raises :class:`BatchCancelled` after reaping any worker pool.
+    ``stage_progress`` streams per-stage :class:`~repro.api.StageEvent`
+    progress for serial batches (worker processes cannot call back
+    across the pickle boundary, so parallel batches only report
+    per-circuit completions through ``progress``).
     """
     if config is None:
         config = BatchConfig()
     items = _normalize_items(keys)
     report = BatchReport(flow=config.flow)
     batch_start = time.perf_counter()
+    # Zero circuits is a valid (if vacuous) batch: a glob-driven or
+    # service-driven source may legitimately resolve to nothing, and
+    # ``multiprocessing.Pool(processes=0)`` would raise.
+    if not items:
+        report.elapsed_seconds = time.perf_counter() - batch_start
+        return report
+
+    def check_cancel() -> None:
+        if cancel is not None and cancel():
+            raise BatchCancelled(
+                f"batch cancelled after {len(report.circuits)} of "
+                f"{len(items)} circuits"
+            )
 
     def note(circuit: CircuitReport) -> None:
         if progress is not None:
@@ -378,15 +529,31 @@ def run_batch(
 
     if config.workers == 1 or len(items) <= 1:
         for item in items:
-            circuit = synthesize_one(item, config)
+            check_cancel()
+            circuit = synthesize_one(
+                item, config, stage_progress=stage_progress, cancel=cancel
+            )
             note(circuit)
             report.circuits.append(circuit)
     else:
         jobs = [(item, config) for item in items]
-        with multiprocessing.Pool(processes=min(config.workers, len(jobs))) as pool:
+        with batch_pool(min(config.workers, len(jobs))) as pool:
             # imap preserves input order, so the report never depends
             # on which worker finishes first.
-            for circuit in pool.imap(_pool_worker, jobs):
+            results = pool.imap(_pool_worker, jobs)
+            while True:
+                check_cancel()
+                try:
+                    if cancel is None:
+                        circuit = next(results)
+                    else:
+                        # Short-timeout polling keeps cancellation
+                        # responsive even mid-circuit.
+                        circuit = results.next(timeout=_CANCEL_POLL_SECONDS)
+                except StopIteration:
+                    break
+                except multiprocessing.TimeoutError:
+                    continue
                 note(circuit)
                 report.circuits.append(circuit)
     report.elapsed_seconds = time.perf_counter() - batch_start

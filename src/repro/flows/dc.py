@@ -64,6 +64,7 @@ def dc_optimize(network: LogicNetwork, config: DcFlowConfig | None = None) -> Lo
         duplication_literals=config.partition.duplication_literals,
         hard_signals=frozenset(hard),
         cache_policy=config.partition.cache_policy,
+        cache_capacity=config.partition.cache_capacity,
     )
 
     builder = TreeBuilder()

@@ -2,7 +2,7 @@
 equivalence checking and BDS-style network partitioning."""
 
 from .bdds import BddSizeExceeded, cover_to_bdd, global_bdds, supernode_bdd
-from .blif import BlifError, parse_blif, read_blif, to_blif, write_blif
+from .blif import BlifError, BlifWarning, parse_blif, read_blif, to_blif, write_blif
 from .equivalence import (
     EquivalenceResult,
     bdd_equivalent,
@@ -24,6 +24,7 @@ from .partition import (
 __all__ = [
     "BddSizeExceeded",
     "BlifError",
+    "BlifWarning",
     "EquivalenceResult",
     "LogicNetwork",
     "NetworkError",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from ..bdd import BDD
+from ..bdd import BDD, DEFAULT_CACHE_CAPACITY
 from .netlist import LogicNetwork, NetworkError, Node
 
 
@@ -73,15 +73,16 @@ def supernode_bdd(
     input_order: Sequence[str],
     max_nodes: int | None = None,
     cache_policy: str = "fifo",
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY,
 ) -> tuple[BDD, int]:
     """Local BDD of the cone ``members`` rooted at ``output``.
 
     Signals outside ``members`` are treated as free variables in
     ``input_order``.  Raises :class:`BddSizeExceeded` past ``max_nodes``.
-    ``cache_policy`` selects the manager's operation-cache eviction
-    policy (see :class:`repro.bdd.OperationCache`).
+    ``cache_policy`` / ``cache_capacity`` configure the manager's
+    operation cache (see :class:`repro.bdd.OperationCache`).
     """
-    mgr = BDD(list(input_order), cache_policy=cache_policy)
+    mgr = BDD(list(input_order), cache_capacity=cache_capacity, cache_policy=cache_policy)
     cache: dict[str, int] = {name: mgr.var(name) for name in input_order}
 
     # Iterative post-order build: member chains can be thousands of

@@ -10,6 +10,7 @@ supported — ``.model``, ``.inputs``, ``.outputs``, ``.names``, ``.end``
 from __future__ import annotations
 
 import io
+import warnings
 from typing import Iterable, TextIO
 
 from .netlist import LogicNetwork, NetworkError
@@ -17,6 +18,10 @@ from .netlist import LogicNetwork, NetworkError
 
 class BlifError(NetworkError):
     """Raised on malformed BLIF input."""
+
+
+class BlifWarning(UserWarning):
+    """Warned on tolerated-but-suspect BLIF input (e.g. missing ``.end``)."""
 
 
 def parse_blif(text: str) -> LogicNetwork:
@@ -31,7 +36,9 @@ def read_blif(stream: TextIO) -> LogicNetwork:
     outputs: list[str] = []
     pending: tuple[list[str], list[str]] | None = None  # (signals, rows)
     nodes: list[tuple[str, tuple[str, ...], tuple[str, ...], bool]] = []
+    defined: set[str] = set()
     model_name = "top"
+    saw_end = False
 
     def flush_pending() -> None:
         nonlocal pending
@@ -40,12 +47,27 @@ def read_blif(stream: TextIO) -> LogicNetwork:
         signals, rows = pending
         pending = None
         *fanins, name = signals
+        if name in defined:
+            raise BlifError(f"duplicate .names definition for signal {name!r}")
+        defined.add(name)
         on_rows: list[str] = []
         off_rows: list[str] = []
         for row in rows:
             parts = row.split()
-            if len(parts) == 1 and not fanins:
-                pattern, value = "", parts[0]
+            if len(parts) == 1:
+                # A bare output value is a row whose pattern is all
+                # don't-cares (constant covers are the 0-input case).
+                # With inputs present this is also what a truncated row
+                # looks like, so it parses with a warning.
+                if fanins:
+                    warnings.warn(
+                        f"bare output value row {row!r} for node {name!r} "
+                        f"with {len(fanins)} inputs; interpreting as an "
+                        "all-don't-care pattern",
+                        BlifWarning,
+                        stacklevel=4,
+                    )
+                pattern, value = "-" * len(fanins), parts[0]
             elif len(parts) == 2:
                 pattern, value = parts
             else:
@@ -86,6 +108,7 @@ def read_blif(stream: TextIO) -> LogicNetwork:
                     raise BlifError(".names with no signals")
                 pending = (rest, [])
             elif directive == ".end":
+                saw_end = True
                 break
             elif directive in (".latch", ".gate", ".subckt"):
                 raise BlifError(f"unsupported (sequential/mapped) directive {directive}")
@@ -97,6 +120,15 @@ def read_blif(stream: TextIO) -> LogicNetwork:
                 raise BlifError(f"cover row {line!r} outside .names")
             pending[1].append(line)
     flush_pending()
+    if not saw_end:
+        # Tolerated: everything parsed is kept, but the model is likely
+        # truncated — tell the caller instead of relying on EOF quirks.
+        warnings.warn(
+            f"BLIF model {model_name!r} has no .end directive; "
+            "parsed up to end of input",
+            BlifWarning,
+            stacklevel=3,
+        )
 
     network = LogicNetwork(model_name)
     for name in inputs:

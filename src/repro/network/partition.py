@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..bdd import BDD
+from ..bdd import BDD, DEFAULT_CACHE_CAPACITY
 from .bdds import BddSizeExceeded, supernode_bdd
 from .netlist import LogicNetwork
 
@@ -48,6 +48,9 @@ class PartitionConfig:
     #: Eviction policy of every local BDD manager's operation cache
     #: ("fifo" | "lru"); FIFO is the measured baseline.
     cache_policy: str = "fifo"
+    #: Capacity (entries) of every local BDD manager's operation cache;
+    #: the default keeps the published counters unchanged.
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
 
 
 @dataclass
@@ -178,6 +181,7 @@ def build_local_bdd(
         supernode.inputs,
         max_nodes=config.max_bdd_nodes,
         cache_policy=config.cache_policy,
+        cache_capacity=config.cache_capacity,
     )
 
 
@@ -207,6 +211,7 @@ def partition_with_bdds(
             singleton.inputs,
             max_nodes=None,
             cache_policy=config.cache_policy,
+            cache_capacity=config.cache_capacity,
         )
         built[name] = (singleton, mgr, root)
 

@@ -1,0 +1,78 @@
+"""``repro.serve`` — the async synthesis-serving layer.
+
+The batch service (:func:`repro.flows.run_batch`) answers "synthesize
+this suite"; this package answers the ROADMAP's production question:
+synthesis requests that *stream in* over HTTP, get prioritised, report
+progress while running, and can be cancelled — without ever blocking
+the event loop on a BDD operation.
+
+The stack, bottom up:
+
+* :mod:`.jobs` — :class:`JobRequest` / :class:`Job` / :class:`JobStore`:
+  the request model, the job state machine and its append-only event
+  log;
+* :mod:`.queue` — :class:`JobQueue`: priority scheduling with bounded
+  concurrency, dispatching each job onto an executor thread that runs
+  ``run_batch`` (and, for ``workers > 1`` requests, the multiprocessing
+  pool underneath it);
+* :mod:`.wire` — the JSON wire format: submission validation, status
+  payloads, NDJSON progress lines;
+* :mod:`.server` — :class:`SynthesisService`, a stdlib-asyncio HTTP
+  front end with submit/status/result/cancel/events endpoints, plus
+  :func:`run_server`, the blocking ``bdsmaj serve`` entry point.
+
+The invariant that makes the service trustworthy: a finished job's
+``/result`` is the **byte-identical** ``BatchReport`` serialization
+``run_batch`` (and ``bdsmaj batch``) produces for the same circuits —
+serving adds scheduling, never different numbers.
+
+Quickstart::
+
+    bdsmaj serve --port 8347 &
+    curl -d '{"circuits": ["alu2"], "flow": "bds-maj"}' localhost:8347/jobs
+    curl localhost:8347/jobs/job-000001/events   # streamed progress
+    curl localhost:8347/jobs/job-000001/result   # == `bdsmaj batch` bytes
+"""
+
+from .jobs import (
+    CANCELLED,
+    DONE,
+    ERROR,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobRequest,
+    JobStore,
+)
+from .queue import JobQueue
+from .server import SynthesisService, run_server
+from .wire import (
+    SCHEMA,
+    WireError,
+    encode_event_line,
+    encode_json,
+    job_payload,
+    parse_submission,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "ERROR",
+    "QUEUED",
+    "RUNNING",
+    "SCHEMA",
+    "TERMINAL_STATES",
+    "Job",
+    "JobQueue",
+    "JobRequest",
+    "JobStore",
+    "SynthesisService",
+    "WireError",
+    "encode_event_line",
+    "encode_json",
+    "job_payload",
+    "parse_submission",
+    "run_server",
+]

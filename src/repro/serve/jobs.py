@@ -1,0 +1,186 @@
+"""Job model of the async serving layer.
+
+A :class:`Job` is one submitted synthesis request: a
+:class:`JobRequest` (flow, per-request knobs, priority), the resolved
+:class:`~repro.api.InputItem` list it will synthesize, a state machine
+(``queued → running → done | error | cancelled``), an append-only event
+log (the wire payloads the ``/jobs/<id>/events`` endpoint streams), and
+— once finished — the :class:`~repro.flows.BatchReport` whose
+serialization is byte-identical to what :func:`repro.flows.run_batch`
+produces for the same circuits.
+
+Threading contract
+------------------
+All state transitions and event appends happen on the event-loop
+thread; the executor thread that actually runs the batch communicates
+exclusively through ``loop.call_soon_threadsafe``.  The one exception
+is the cancel flag: it is a :class:`threading.Event` so the
+``run_batch`` cancel hook can poll it from the worker thread (and the
+flag crosses into pool workers only as a polled boolean, never as
+shared state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..bdd.manager import DEFAULT_CACHE_CAPACITY
+from ..flows.batch import BatchConfig, BatchReport
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..api import InputItem
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, ERROR, CANCELLED})
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """What a client asked for: circuits plus per-request batch knobs.
+
+    ``priority`` orders the queue (lower runs sooner; ties run in
+    submission order).  Everything else maps 1:1 onto
+    :class:`~repro.flows.BatchConfig`, so a served job is exactly a
+    ``run_batch`` call.
+    """
+
+    circuits: tuple[str, ...]
+    flow: str = "bds-maj"
+    workers: int = 1
+    verify: bool = False
+    cache_policy: str = "fifo"
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    priority: int = 0
+
+    def batch_config(self) -> BatchConfig:
+        """The equivalent :class:`~repro.flows.BatchConfig` (validates
+        the numeric/choice fields exactly like the CLI)."""
+        return BatchConfig(
+            flow=self.flow,
+            workers=self.workers,
+            verify=self.verify,
+            cache_policy=self.cache_policy,
+            cache_capacity=self.cache_capacity,
+        )
+
+
+class Job:
+    """One queued/running/finished synthesis request."""
+
+    def __init__(
+        self, job_id: str, request: JobRequest, items: "Sequence[InputItem]"
+    ) -> None:
+        self.id = job_id
+        self.request = request
+        self.items = list(items)
+        self.state = QUEUED
+        self.error: str | None = None
+        self.report: BatchReport | None = None
+        #: Wire-ready event payloads, append-only, in emission order.
+        self.events: list[dict] = []
+        self._cancel = threading.Event()
+        # Event-chain wakeup: every append swaps in a fresh event and
+        # sets the old one, so any number of streaming readers can wait
+        # without clear() races.
+        self._changed = asyncio.Event()
+        self.add_event({"type": "state", "status": QUEUED})
+
+    # -- loop-thread side ----------------------------------------------
+    def add_event(self, payload: dict) -> None:
+        """Append one wire event and wake every streaming reader."""
+        self.events.append(dict(payload, job=self.id))
+        changed, self._changed = self._changed, asyncio.Event()
+        changed.set()
+
+    def change_event(self) -> asyncio.Event:
+        """The event the *next* :meth:`add_event` will set.  Capture it
+        before draining :attr:`events`, then ``await`` it."""
+        return self._changed
+
+    def mark_running(self) -> None:
+        self.state = RUNNING
+        self.add_event({"type": "state", "status": RUNNING})
+
+    def finish(self, report: BatchReport) -> None:
+        self.report = report
+        self.state = DONE
+        summary = report.summary()
+        self.add_event(
+            {
+                "type": "state",
+                "status": DONE,
+                "ok": summary["ok"],
+                "failed": summary["failed"],
+            }
+        )
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.state = ERROR
+        self.add_event({"type": "state", "status": ERROR, "error": error})
+
+    def mark_cancelled(self) -> None:
+        self.state = CANCELLED
+        self.add_event({"type": "state", "status": CANCELLED})
+
+    def request_cancel(self) -> bool:
+        """Ask the job to stop.
+
+        A queued job is cancelled immediately (the dispatcher skips it);
+        a running job keeps state ``running`` until its batch observes
+        the flag and aborts.  Returns ``False`` for jobs already in a
+        terminal state (nothing to do).
+        """
+        if self.state in TERMINAL_STATES:
+            return False
+        self._cancel.set()
+        if self.state == QUEUED:
+            self.mark_cancelled()
+        return True
+
+    # -- any-thread side -----------------------------------------------
+    def cancel_requested(self) -> bool:
+        """Thread-safe read of the cancel flag (the ``run_batch``
+        ``cancel`` hook)."""
+        return self._cancel.is_set()
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class JobStore:
+    """All jobs the service has seen, by id, in submission order."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+
+    def create(self, request: JobRequest, items: "Sequence[InputItem]") -> Job:
+        job = Job(f"job-{next(self._ids):06d}", request, items)
+        self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Job tally by state (the health endpoint's queue gauge)."""
+        tally = {state: 0 for state in (QUEUED, RUNNING, DONE, ERROR, CANCELLED)}
+        for job in self._jobs.values():
+            tally[job.state] += 1
+        return tally

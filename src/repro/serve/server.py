@@ -1,0 +1,348 @@
+"""Asyncio HTTP front end: the ``bdsmaj serve`` service.
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`
+(stdlib only — the repo's no-heavy-deps rule applies to the serving
+layer too).  Every connection carries one request and is closed after
+the response, which keeps the protocol handling to a screenful and is
+plenty for a synthesis service whose unit of work is seconds, not
+microseconds.
+
+Endpoints
+---------
+``GET  /healthz``           liveness + job tally by state
+``POST /jobs``              submit (JSON body, see :mod:`.wire`) → 202
+``GET  /jobs``              all jobs, submission order
+``GET  /jobs/<id>``         status payload
+``GET  /jobs/<id>/result``  the finished job's BatchReport — raw
+                            ``to_json`` bytes (``?format=csv`` for CSV,
+                            ``?timings=1`` to include wall-clock);
+                            409 until the job is done
+``POST /jobs/<id>/cancel``  cancel queued/running job → status payload
+``GET  /jobs/<id>/events``  NDJSON progress stream (state transitions,
+                            per-circuit completions, per-stage
+                            start/end events) until the job finishes
+
+:class:`SynthesisService` bundles the :class:`~repro.serve.JobStore`,
+the :class:`~repro.serve.JobQueue` and the listener; :func:`run_server`
+is the blocking CLI entry point with SIGINT/SIGTERM-triggered graceful
+shutdown (drain nothing, cancel everything, reap all workers).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from http import HTTPStatus
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from ..api import InputSourceError, resolve_source
+from .jobs import DONE, Job, JobRequest, JobStore
+from .queue import JobQueue
+from .wire import WireError, encode_event_line, encode_json, job_payload, parse_submission
+
+#: Largest accepted request body; a submission is a short JSON object,
+#: so anything bigger is a client bug, not a workload.
+MAX_BODY_BYTES = 1 << 20
+
+
+class SynthesisService:
+    """Store + queue + HTTP listener, wired together."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        concurrency: int = 2,
+    ) -> None:
+        self.store = JobStore()
+        self.queue = JobQueue(concurrency=concurrency)
+        self._host = host
+        self._port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Start the runners and the listener; returns the bound
+        ``(host, port)`` (useful with ``port=0``)."""
+        self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def shutdown(self) -> None:
+        """Stop accepting, cancel every live job, reap every worker."""
+        if self._server is not None:
+            self._server.close()
+        # Cancel jobs BEFORE waiting on the listener: event-stream
+        # handlers only finish once their job reaches a terminal state,
+        # and (on Pythons where wait_closed really waits for handlers)
+        # the reverse order would deadlock.
+        await self.queue.shutdown(self.store.jobs())
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:  # a client holding a dead connection
+                pass
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Submission (also the seam tests drive without HTTP)
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Resolve the request's circuit specs through the input layer
+        and enqueue a job for them.
+
+        Callers building a :class:`JobRequest` directly (the HTTP path
+        goes through :func:`~repro.serve.parse_submission`, which
+        validates) get the knob errors here instead of at run time.
+        """
+        items = self._resolve_items(request)
+        job = self.store.create(request, items)
+        self.queue.submit(job)
+        return job
+
+    async def submit_async(self, request: JobRequest) -> Job:
+        """Like :meth:`submit`, but resolves circuit specs on a worker
+        thread: glob expansion walks the filesystem, and a slow walk on
+        the loop thread would freeze every other request."""
+        loop = asyncio.get_running_loop()
+        items = await loop.run_in_executor(None, self._resolve_items, request)
+        job = self.store.create(request, items)
+        self.queue.submit(job)
+        return job
+
+    def _resolve_items(self, request: JobRequest) -> list:
+        try:
+            request.batch_config()
+        except ValueError as exc:
+            raise WireError(str(exc)) from None
+        items: list = []
+        try:
+            for spec in request.circuits:
+                items.extend(resolve_source(spec).items())
+        except InputSourceError as exc:
+            raise WireError(str(exc)) from None
+        return items
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is not None:
+                method, path, query, body = parsed
+                await self._route(writer, method, path, query, body)
+        except WireError as exc:
+            self._write_response(
+                writer, exc.status, encode_json({"error": str(exc)})
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/response
+        except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the server
+            self._write_response(
+                writer,
+                500,
+                encode_json({"error": f"{type(exc).__name__}: {exc}"}),
+            )
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, list[str]], bytes] | None:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise WireError("malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise WireError("bad Content-Length header") from None
+        if length > MAX_BODY_BYTES:
+            raise WireError("request body too large", status=413)
+        body = await reader.readexactly(length) if length > 0 else b""
+        url = urlsplit(target)
+        return method.upper(), url.path, parse_qs(url.query), body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        writer.write(self._head(status, content_type, len(body)) + body)
+
+    def _head(
+        self, status: int, content_type: str, length: int | None
+    ) -> bytes:
+        lines = [
+            f"HTTP/1.1 {status} {HTTPStatus(status).phrase}",
+            f"Content-Type: {content_type}",
+            "Connection: close",
+        ]
+        if length is not None:
+            lines.append(f"Content-Length: {length}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: dict[str, list[str]],
+        body: bytes,
+    ) -> None:
+        segments = [part for part in path.split("/") if part]
+        if segments == ["healthz"]:
+            self._require(method, "GET")
+            self._write_response(
+                writer,
+                200,
+                encode_json({"status": "ok", "jobs": self.store.counts()}),
+            )
+        elif segments == ["jobs"]:
+            if method == "POST":
+                job = await self.submit_async(parse_submission(body))
+                self._write_response(writer, 202, encode_json(job_payload(job)))
+            elif method == "GET":
+                self._write_response(
+                    writer,
+                    200,
+                    encode_json(
+                        {"jobs": [job_payload(j) for j in self.store.jobs()]}
+                    ),
+                )
+            else:
+                raise WireError("use GET or POST on /jobs", status=405)
+        elif len(segments) == 2 and segments[0] == "jobs":
+            self._require(method, "GET")
+            job = self._job(segments[1])
+            self._write_response(writer, 200, encode_json(job_payload(job)))
+        elif len(segments) == 3 and segments[0] == "jobs":
+            job = self._job(segments[1])
+            action = segments[2]
+            if action == "result":
+                self._require(method, "GET")
+                self._send_result(writer, job, query)
+            elif action == "cancel":
+                self._require(method, "POST")
+                job.request_cancel()
+                self._write_response(writer, 200, encode_json(job_payload(job)))
+            elif action == "events":
+                self._require(method, "GET")
+                await self._stream_events(writer, job)
+            else:
+                raise WireError(f"unknown job action {action!r}", status=404)
+        else:
+            raise WireError(f"no such endpoint: {path!r}", status=404)
+
+    def _require(self, method: str, expected: str) -> None:
+        if method != expected:
+            raise WireError(f"use {expected} on this endpoint", status=405)
+
+    def _job(self, job_id: str) -> Job:
+        job = self.store.get(job_id)
+        if job is None:
+            raise WireError(f"no such job: {job_id!r}", status=404)
+        return job
+
+    def _send_result(
+        self, writer: asyncio.StreamWriter, job: Job, query: dict[str, list[str]]
+    ) -> None:
+        if job.state != DONE or job.report is None:
+            raise WireError(
+                f"job {job.id} has no result (status: {job.state})", status=409
+            )
+        include_timing = query.get("timings", ["0"])[-1] in ("1", "true", "yes")
+        # Raw BatchReport serialization — byte-identical to `bdsmaj
+        # batch` output for the same circuits (timings excluded).
+        if query.get("format", ["json"])[-1] == "csv":
+            body = job.report.to_csv(include_timing).encode("utf-8")
+            self._write_response(writer, 200, body, content_type="text/csv")
+        else:
+            body = job.report.to_json(include_timing).encode("utf-8")
+            self._write_response(writer, 200, body)
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job: Job
+    ) -> None:
+        """Replay the job's event log, then follow it live until the job
+        reaches a terminal state (NDJSON, one event per line)."""
+        writer.write(self._head(200, "application/x-ndjson", None))
+        cursor = 0
+        while True:
+            # Capture the wakeup *before* draining: an event appended
+            # after the drain but before the await still sets it.
+            changed = job.change_event()
+            while cursor < len(job.events):
+                writer.write(encode_event_line(job.events[cursor]))
+                cursor += 1
+            await writer.drain()
+            if cursor < len(job.events):
+                # The job appended (possibly its terminal state event)
+                # while drain() was suspended; flush before closing.
+                continue
+            if job.finished:
+                return
+            await changed.wait()
+
+
+async def _serve_until_stopped(
+    host: str, port: int, concurrency: int, echo: Callable[[str], None]
+) -> None:
+    service = SynthesisService(host=host, port=port, concurrency=concurrency)
+    bound_host, bound_port = await service.start()
+    echo(
+        f"bdsmaj serve: listening on http://{bound_host}:{bound_port} "
+        f"({concurrency} concurrent jobs); Ctrl-C to stop"
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        echo("bdsmaj serve: shutting down (cancelling jobs, reaping workers)")
+        await service.shutdown()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8347,
+    concurrency: int = 2,
+    echo: Callable[[str], None] | None = None,
+) -> int:
+    """Blocking entry point behind ``bdsmaj serve``."""
+    if echo is None:
+        echo = lambda message: print(message, file=sys.stderr, flush=True)  # noqa: E731
+    asyncio.run(_serve_until_stopped(host, port, concurrency, echo))
+    return 0

@@ -152,3 +152,66 @@ class TestCli:
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["table1", "--benchmarks", "nope"])
+
+
+class TestCliValidation:
+    """Numeric options fail with a clean argparse usage error (exit
+    code 2), never a traceback from deep inside the batch layer."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["batch", "--workers", "0"],
+            ["batch", "--workers", "-3"],
+            ["batch", "--workers", "two"],
+            ["batch", "--cache-capacity", "0"],
+            ["batch", "--cache-capacity", "-1"],
+            ["serve", "--concurrency", "0"],
+            ["serve", "--port", "-1"],
+            ["serve", "--port", "70000"],
+        ],
+    )
+    def test_nonpositive_numeric_options_are_usage_errors(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert ">= 1" in err or "integer" in err or "0..65535" in err
+
+    def test_batch_config_mirrors_the_guards(self):
+        from repro.flows import BatchConfig
+
+        with pytest.raises(ValueError):
+            BatchConfig(workers=0)
+        with pytest.raises(ValueError):
+            BatchConfig(cache_capacity=0)
+
+    def test_cache_capacity_flag_is_threaded(self, tmp_path):
+        import json
+
+        out = tmp_path / "report.json"
+        assert (
+            cli_main(
+                [
+                    "batch",
+                    "--benchmarks",
+                    "f51m",
+                    "--cache-capacity",
+                    "16",
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        # A 16-entry cache on f51m must evict; the default never does.
+        assert payload["circuits"][0]["cache"]["evictions"] > 0
+
+    def test_serve_subcommand_exists(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--concurrency" in out and "--port" in out

@@ -6,7 +6,13 @@ import json
 
 import pytest
 
-from repro.flows import BatchConfig, BatchReport, CircuitReport, run_batch
+from repro.flows import (
+    BatchCancelled,
+    BatchConfig,
+    BatchReport,
+    CircuitReport,
+    run_batch,
+)
 from repro.flows import batch as batch_module
 
 SMALL = ["alu2", "f51m"]
@@ -331,3 +337,167 @@ class TestCli:
         )
         out = capsys.readouterr().out
         assert out.startswith("benchmark,flow,status,")
+
+
+class TestEmptyBatch:
+    """A source resolving to zero items is a valid (vacuous) batch."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_empty_input_returns_empty_report(self, workers):
+        report = run_batch([], BatchConfig(workers=workers))
+        assert report.circuits == []
+        assert report.flow == "bds-maj"
+
+    def test_empty_report_serializes(self):
+        report = run_batch([], BatchConfig(workers=8))
+        payload = json.loads(report.to_json())
+        assert payload["circuits"] == []
+        assert payload["summary"]["circuits"] == 0
+        assert payload["summary"]["ok"] == 0
+        assert payload["summary"]["cache_hit_rate"] == 0.0
+        lines = report.to_csv().splitlines()
+        assert len(lines) == 1  # header only
+        assert lines[0].startswith("benchmark,flow,status,")
+
+    def test_empty_registry_source(self):
+        from repro.api import RegistrySource
+
+        report = run_batch(RegistrySource([]), BatchConfig(workers=4))
+        assert report.circuits == []
+
+
+class TestCancellation:
+    def test_serial_cancel_before_first_circuit(self):
+        with pytest.raises(BatchCancelled):
+            run_batch(["f51m", "alu2"], BatchConfig(), cancel=lambda: True)
+
+    def test_serial_cancel_between_circuits(self):
+        seen: list[str] = []
+        with pytest.raises(BatchCancelled, match="after 1 of 2"):
+            run_batch(
+                ["f51m", "alu2"],
+                BatchConfig(),
+                progress=seen.append,
+                cancel=lambda: len(seen) >= 1,
+            )
+        assert len(seen) == 1  # alu2 never started
+
+    def test_serial_cancel_mid_circuit_between_stages(self):
+        """A serial batch polls the hook before every pipeline stage,
+        so a single-circuit job can still be cancelled mid-flight."""
+        stages_seen: list[str] = []
+
+        def stage_progress(_benchmark, event):
+            if event.kind == "stage_end":
+                stages_seen.append(event.stage)
+
+        with pytest.raises(BatchCancelled, match="while synthesizing 'f51m'"):
+            run_batch(
+                ["f51m"],
+                BatchConfig(),
+                cancel=lambda: len(stages_seen) >= 2,
+                stage_progress=stage_progress,
+            )
+        # It stopped partway through the pipeline, not after the circuit.
+        assert len(stages_seen) == 2
+
+    def test_parallel_cancel_reaps_pool(self):
+        with pytest.raises(BatchCancelled):
+            run_batch(
+                ["f51m", "alu2", "vda"],
+                BatchConfig(workers=2),
+                cancel=lambda: True,
+            )
+
+    def test_no_cancel_hook_is_unchanged(self):
+        report = run_batch(["f51m"], BatchConfig(), cancel=None)
+        assert report.circuits[0].ok
+
+
+class TestPoolLifecycle:
+    def test_clean_exit_closes_pool(self):
+        from repro.flows import batch_pool
+
+        with batch_pool(2) as pool:
+            assert pool.map(len, (["a"], ["b", "c"])) == [1, 2]
+        with pytest.raises(ValueError):
+            pool.apply(len, (["d"],))  # closed and joined
+
+    def test_keyboard_interrupt_terminates_pool(self):
+        """Ctrl-C mid-batch must reap the workers before propagating."""
+        from repro.flows import batch_pool
+
+        with pytest.raises(KeyboardInterrupt):
+            with batch_pool(2) as pool:
+                raise KeyboardInterrupt
+        with pytest.raises(ValueError):
+            pool.apply(len, (["d"],))  # terminated and joined
+
+    def test_cancellation_terminates_pool(self):
+        from repro.flows import batch_pool
+
+        with pytest.raises(BatchCancelled):
+            with batch_pool(2) as pool:
+                raise BatchCancelled("stop")
+        with pytest.raises(ValueError):
+            pool.apply(len, (["d"],))
+
+
+class TestStageProgress:
+    def test_serial_batch_streams_stage_events(self):
+        events: list[tuple[str, object]] = []
+        run_batch(
+            ["f51m"],
+            BatchConfig(),
+            stage_progress=lambda benchmark, event: events.append((benchmark, event)),
+        )
+        assert events and all(benchmark == "f51m" for benchmark, _ in events)
+        kinds = [event.kind for _, event in events]
+        assert kinds.count("stage_start") == kinds.count("stage_end")
+        starts = [event.stage for _, event in events if event.kind == "stage_start"]
+        assert "decompose" in starts
+        ends = [event for _, event in events if event.kind == "stage_end"]
+        assert all(event.seconds is not None for event in ends)
+
+    def test_stage_events_cover_the_optimize_prefix(self):
+        from repro.api import get_pipeline
+
+        streamed: list[object] = []
+        run_batch(
+            ["f51m"],
+            BatchConfig(),
+            stage_progress=lambda _benchmark, event: streamed.append(event),
+        )
+        stage_names = get_pipeline("bds-maj").optimize_prefix().stage_names()
+        expected = sorted(
+            (kind, name)
+            for name in stage_names
+            for kind in ("stage_start", "stage_end")
+        )
+        assert sorted((e.kind, e.stage) for e in streamed) == expected
+
+
+class TestCacheCapacity:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BatchConfig(cache_capacity=0)
+        with pytest.raises(ValueError):
+            BatchConfig(cache_capacity=-5)
+
+    def test_default_capacity_keeps_counters(self):
+        from repro.bdd.manager import DEFAULT_CACHE_CAPACITY
+
+        default = run_batch(["f51m"], BatchConfig())
+        explicit = run_batch(
+            ["f51m"], BatchConfig(cache_capacity=DEFAULT_CACHE_CAPACITY)
+        )
+        assert default.to_json() == explicit.to_json()
+
+    def test_tiny_capacity_still_correct_but_evicts(self):
+        tiny = run_batch(["f51m"], BatchConfig(cache_capacity=16, verify=True))
+        circuit = tiny.circuits[0]
+        assert circuit.ok and circuit.verified is True
+        assert circuit.cache["evictions"] > 0
+        # Node counts are a function of the circuit, not the cache.
+        reference = run_batch(["f51m"], BatchConfig()).circuits[0]
+        assert circuit.node_counts == reference.node_counts

@@ -151,3 +151,73 @@ class TestRoundTrip:
         assert any(line.endswith("\\") for line in text.splitlines())
         reparsed = parse_blif(text)
         assert reparsed.inputs == tuple(names)
+
+
+class TestHardening:
+    """Edge cases a served/batched front end turns user-visible."""
+
+    def test_bare_output_value_row_means_all_dont_cares(self):
+        # Some writers emit a lone output value for a tautology row;
+        # it is equivalent to an explicit all-don't-care pattern — but
+        # it is also what a truncated row looks like, so it warns.
+        from repro.network import BlifWarning
+
+        with pytest.warns(BlifWarning, match="bare output value row"):
+            net = parse_blif(
+                ".model t\n.inputs a b\n.outputs y\n.names a b y\n1\n.end\n"
+            )
+        node = net.node("y")
+        assert node.cover == ("--",)
+        explicit = parse_blif(
+            ".model t\n.inputs a b\n.outputs y\n.names a b y\n-- 1\n.end\n"
+        )
+        assert explicit.node("y").cover == node.cover
+        for a in (0, 1):
+            for b in (0, 1):
+                assert net.simulate({"a": a, "b": b}, 1)["y"] == 1
+
+    def test_explicit_dont_care_only_pattern_accepted(self):
+        net = parse_blif(
+            ".model t\n.inputs a b c\n.outputs y\n.names a b c y\n--- 0\n.end\n"
+        )
+        assert net.simulate({"a": 1, "b": 0, "c": 1}, 1)["y"] == 0
+
+    def test_three_token_row_still_rejected(self):
+        with pytest.raises(BlifError, match="malformed cover row"):
+            parse_blif(
+                ".model t\n.inputs a b\n.outputs y\n.names a b y\n1 0 1\n.end\n"
+            )
+
+    def test_duplicate_names_is_clear_error(self):
+        text = (
+            ".model t\n.inputs a b\n.outputs y\n"
+            ".names a y\n1 1\n"
+            ".names b y\n1 1\n"
+            ".end\n"
+        )
+        with pytest.raises(BlifError, match="duplicate .names definition for signal 'y'"):
+            parse_blif(text)
+
+    def test_missing_end_warns_but_parses(self):
+        from repro.network import BlifWarning
+
+        text = ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n"
+        with pytest.warns(BlifWarning, match="no .end directive"):
+            net = parse_blif(text)
+        assert net.simulate({"a": 1}, 1)["y"] == 1
+
+    def test_present_end_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            parse_blif(SAMPLE)
+
+    def test_written_blif_always_has_end(self):
+        import warnings
+
+        net = parse_blif(SAMPLE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = parse_blif(to_blif(net))
+        assert again.num_nodes == net.num_nodes

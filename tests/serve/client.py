@@ -1,0 +1,61 @@
+"""Minimal async HTTP client for exercising the serve layer in tests.
+
+Blocking clients (``http.client``, ``urllib``) would stall the event
+loop the server under test runs on, so the tests speak HTTP/1.1 over
+``asyncio.open_connection`` directly — one request per connection,
+exactly the protocol subset the server implements.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+) -> tuple[int, bytes]:
+    """One request; returns ``(status, body_bytes)`` after the server
+    closes the connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    header_block, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(header_block.split(None, 2)[1])
+    return status, rest
+
+
+async def http_json(
+    host: str, port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict]:
+    status, raw = await http_request(host, port, method, path, body)
+    return status, json.loads(raw)
+
+
+async def poll_job(
+    host: str, port: int, job_id: str, *, timeout: float = 120.0
+) -> dict:
+    """Poll ``GET /jobs/<id>`` until the job reaches a terminal state."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        _status, payload = await http_json(host, port, "GET", f"/jobs/{job_id}")
+        if payload["status"] in ("done", "error", "cancelled"):
+            return payload
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError(f"job {job_id} still {payload['status']!r}")
+        await asyncio.sleep(0.05)
