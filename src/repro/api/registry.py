@@ -2,12 +2,15 @@
 
 The four Section-V flows are registered here as stage compositions;
 ``repro.flows.FLOWS`` is now a thin compatibility shim over this
-registry.  Registering a custom flow is a one-liner::
+registry.  A fifth built-in, ``"bds-maj-nosift"``, is the reordering
+ablation (the paper flow with the sifting stage disabled) — the
+baseline ``benchmarks/bench_reorder.py`` compares the in-place sifting
+engine against.  Registering a custom flow is a one-liner::
 
     from repro.api import Pipeline, register_pipeline, standard_stages as S
 
     register_pipeline(Pipeline(
-        "bds-maj-nosift",
+        "bds-maj-quick",
         [S.LoadInput(), S.BuildBdds(), S.Decompose(), S.RewriteTrees(),
          S.MapNetwork(), S.VerifyEquivalence()],
         default_config=BdsFlowConfig,
@@ -147,6 +150,28 @@ DEFAULT_REGISTRY.register(
         ],
         default_config=DcFlowConfig,
         description="Design-Compiler-like baseline: collapse/minimize/factor",
+    )
+)
+
+
+def _force_nosift(config: BdsFlowConfig | None) -> BdsFlowConfig:
+    """The no-reorder ablation must hold even for caller-shared config
+    objects (mirrors :func:`_force_pga`)."""
+    if config is None:
+        config = BdsFlowConfig(reorder=False)
+    else:
+        config.reorder = False
+    return config
+
+
+DEFAULT_REGISTRY.register(
+    Pipeline(
+        "bds-maj-nosift",
+        _bds_stages(),
+        default_config=lambda: BdsFlowConfig(reorder=False),
+        prepare_config=_force_nosift,
+        description="reordering ablation: the paper's flow with variable "
+        "sifting disabled",
     )
 )
 

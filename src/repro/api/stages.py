@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from ..aig import aig_to_network, network_to_aig, resyn2, resyn_quick
 from ..bdd.isop import isop_cover_rows
-from ..bdd.reorder import sift
 from ..core import DecompositionEngine, TreeBuilder
 from ..core.emit import network_from_trees
 from ..flows.bds import BdsTrace
@@ -83,7 +82,13 @@ class BuildBdds:
 
 
 class ReorderVariables:
-    """Per-supernode variable reordering via greedy sifting (IV.B)."""
+    """Per-supernode variable reordering via in-place sifting (IV.B).
+
+    Every supernode is sifted — the in-place engine swaps adjacent
+    levels by local node surgery, so there is no size guard anymore.
+    The manager and the root edge survive the pass unchanged (only the
+    variable order moves), so the partition tuples are reused as-is.
+    """
 
     name = "reorder"
     optimize_timed = True
@@ -92,19 +97,9 @@ class ReorderVariables:
         if not ctx.config.reorder:
             return ctx
         trace = ctx.scratch["trace"]
-        reordered = []
-        for supernode, mgr, root in ctx.scratch["partitions"]:
-            new_mgr, (new_root,) = sift(mgr, [root])
-            if new_mgr is not mgr:
+        for _supernode, mgr, root in ctx.scratch["partitions"]:
+            if mgr.sift([root]).changed:
                 trace.sifted += 1
-                # The pre-sift manager is dropped here; fold its
-                # construction cache traffic into the trace first.
-                # (sift's internal trial managers are discarded
-                # uninstrumented and never counted.)
-                trace.add_cache_stats(mgr.cache_stats())
-                mgr, root = new_mgr, new_root
-            reordered.append((supernode, mgr, root))
-        ctx.scratch["partitions"] = reordered
         return ctx
 
 

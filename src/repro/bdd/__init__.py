@@ -9,7 +9,9 @@ Public surface:
   balanced :func:`xor_split` used by the γ optimization phase;
 * :func:`replace_node` / :func:`edge_statistics` — structural rewrites
   and fan-in counts behind the m-dominator search;
-* :func:`reorder` / :func:`sift` — variable reordering;
+* :func:`sift` / :meth:`BDD.sift` — in-place Rudell sifting (per-level
+  subtables + adjacent level swaps), with :func:`reorder` /
+  :func:`sift_rebuild` as the rebuild-based constructions;
 * :func:`to_dot` — Graphviz export (Figure 1).
 """
 
@@ -31,14 +33,16 @@ from .manager import (
     BDDError,
     CACHE_POLICIES,
     DEFAULT_CACHE_CAPACITY,
+    DEFAULT_MAX_GROWTH,
     OperationCache,
+    SiftResult,
     TERMINAL_LEVEL,
     combine_cache_stats,
     maj3,
 )
 from .isop import bdd_isop, isop_cover_rows
 from .quantify import count_paths, exists, forall, iter_cubes
-from .reorder import reorder, sift
+from .reorder import reorder, sift, sift_rebuild
 from .substitute import (
     EdgeStatistics,
     NodeFanin,
@@ -56,6 +60,8 @@ __all__ = [
     "CACHE_POLICIES",
     "CareSetError",
     "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_MAX_GROWTH",
+    "SiftResult",
     "DominatorDecomposition",
     "EdgeStatistics",
     "OperationCache",
@@ -86,6 +92,7 @@ __all__ = [
     "replace_node",
     "restrict",
     "sift",
+    "sift_rebuild",
     "simple_dominator_nodes",
     "to_dot",
     "xor_split",

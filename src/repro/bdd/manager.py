@@ -11,26 +11,50 @@ paper's reference [19]):
   canonical-form condition (iii) in Section II.B), which makes the
   representation canonical: two functions are equal iff their edge
   handles are equal;
-* all operators are implemented on top of a memoized ``ite``.
+* operators are implemented by specialized apply kernels (``and_``,
+  ``or_``, ``xor``) plus a memoized generic ``ite``.
+
+The node store is *mutable*, in the style of the C packages:
+
+* the unique table is split into per-level subtables, so
+  :meth:`BDD.swap_adjacent` can exchange two adjacent variables by
+  local node surgery in O(nodes at the two levels) — the building block
+  of in-place Rudell sifting (:meth:`BDD.sift`);
+* per-node reference counts of DAG parents plus a free-list let the
+  swap free nodes that die during the surgery and recycle their slots;
+* :meth:`BDD.gc` is a mark-and-sweep collector over caller-declared
+  roots, compacting the subtables so :meth:`BDD.live_nodes` tracks the
+  live size (while :meth:`BDD.num_nodes` keeps counting allocations).
 
 The terminal node has index 0 and represents constant TRUE; its
 complemented edge represents constant FALSE.
 
 Variables are identified by *level* (position in the global variable
 order, 0 = topmost).  Names are kept in a side table so that networks
-and tests can speak in terms of signal names.
+and tests can speak in terms of signal names; a level swap exchanges
+the names, never the node indices, so edge handles held by callers stay
+valid across reordering.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
 #: Level assigned to the terminal node; deeper than any real variable.
 TERMINAL_LEVEL = 1 << 30
 
+#: Level sentinel marking a freed (recyclable) node-store slot.
+_FREE_LEVEL = -1
+
 #: Default bound on the number of memoized operation results per manager.
 DEFAULT_CACHE_CAPACITY = 1 << 18
+
+#: Default growth bound for :meth:`BDD.sift`: a sifting walk aborts in
+#: one direction once the live size exceeds this multiple of the size
+#: the variable started from.
+DEFAULT_MAX_GROWTH = 4.0
 
 # Operation tags for the unified cache keys.  Small ints keep the key
 # tuples compact and hash deterministically (no string hashing, so the
@@ -39,6 +63,8 @@ DEFAULT_CACHE_CAPACITY = 1 << 18
 _OP_ITE = 0
 _OP_COFACTOR = 1
 _OP_EXISTS = 2
+_OP_AND = 3
+_OP_XOR = 4
 
 
 class BDDError(Exception):
@@ -46,28 +72,47 @@ class BDDError(Exception):
 
 
 #: Eviction policies :class:`OperationCache` understands.
-CACHE_POLICIES = ("fifo", "lru")
+CACHE_POLICIES = ("fifo", "lru", "2random")
+
+_MASK64 = (1 << 64) - 1
 
 
 class OperationCache:
     """Size-bounded memo table shared by every BDD operator.
 
-    One keyed dict serves ``ite``, ``cofactor`` and ``exists``; entries
-    are ``(op_tag, operands...) -> result_edge``.  When the bound is
-    reached the oldest entry is evicted.  Two policies are supported:
+    One keyed dict serves the apply kernels, ``ite``, ``cofactor`` and
+    ``exists``; entries are ``(op_tag, operands...) -> result_edge``.
+    When the bound is reached an entry is evicted.  Three policies are
+    supported, all fully deterministic for a given operation sequence
+    (a requirement of the byte-identical batch reports):
 
-    * ``"fifo"`` (default) — oldest *inserted* entry goes first.  Both
-      policies are deterministic for a given operation sequence, but
-      FIFO never reorders entries, so it is the safest baseline and the
-      one all published counters were measured with.
+    * ``"fifo"`` (default) — oldest *inserted* entry goes first.  FIFO
+      never reorders entries, so it is the safest baseline and the one
+      all published counters were measured with.
     * ``"lru"`` — a cache hit refreshes the entry's recency, so the
-      oldest *used* entry goes first.  Still fully deterministic (the
-      recency order is a pure function of the operation sequence), just
-      a different — often higher-hit-rate — eviction order under
-      capacity pressure.
+      oldest *used* entry goes first.
+    * ``"2random"`` — power-of-two-choices eviction: a private xorshift
+      PRNG (fixed seed, so runs are reproducible) draws two candidate
+      entries and the one touched longest ago is evicted.  Approximates
+      LRU's hit rate without its per-hit dict churn.
     """
 
-    __slots__ = ("capacity", "policy", "hits", "misses", "evictions", "_data")
+    __slots__ = (
+        "capacity",
+        "policy",
+        "hits",
+        "misses",
+        "evictions",
+        "_data",
+        "_keys",
+        "_pos",
+        "_last",
+        "_tick",
+        "_rng",
+    )
+
+    #: Fixed xorshift64 seed for the ``2random`` candidate draws.
+    _RNG_SEED = 0x9E3779B97F4A7C15
 
     def __init__(
         self, capacity: int = DEFAULT_CACHE_CAPACITY, policy: str = "fifo"
@@ -84,6 +129,21 @@ class OperationCache:
         self.misses = 0
         self.evictions = 0
         self._data: dict[tuple, int] = {}
+        # 2random bookkeeping: an array of keys (for O(1) random picks
+        # via swap-remove), each key's array position and last-use tick.
+        self._keys: list[tuple] = []
+        self._pos: dict[tuple, int] = {}
+        self._last: dict[tuple, int] = {}
+        self._tick = 0
+        self._rng = self._RNG_SEED
+
+    def _rand(self, bound: int) -> int:
+        x = self._rng
+        x = (x ^ (x << 13)) & _MASK64
+        x ^= x >> 7
+        x = (x ^ (x << 17)) & _MASK64
+        self._rng = x
+        return x % bound
 
     def get(self, key: tuple) -> int | None:
         result = self._data.get(key)
@@ -96,18 +156,52 @@ class OperationCache:
                 # insertion order, which `put` evicts from the front of.
                 del self._data[key]
                 self._data[key] = result
+            elif self.policy == "2random":
+                self._tick += 1
+                self._last[key] = self._tick
         return result
 
     def put(self, key: tuple, value: int) -> None:
         data = self._data
+        if self.policy == "2random":
+            if key not in data:
+                if len(data) >= self.capacity:
+                    self._evict_2random()
+                self._pos[key] = len(self._keys)
+                self._keys.append(key)
+            self._tick += 1
+            self._last[key] = self._tick
+            data[key] = value
+            return
         if key not in data and len(data) >= self.capacity:
             del data[next(iter(data))]
             self.evictions += 1
         data[key] = value
 
+    def _evict_2random(self) -> None:
+        keys = self._keys
+        count = len(keys)
+        first = keys[self._rand(count)]
+        second = keys[self._rand(count)]
+        last = self._last
+        victim = first if last[first] <= last[second] else second
+        # Swap-remove the victim from the key array.
+        position = self._pos[victim]
+        tail = keys[-1]
+        keys[position] = tail
+        self._pos[tail] = position
+        keys.pop()
+        del self._pos[victim]
+        del self._last[victim]
+        del self._data[victim]
+        self.evictions += 1
+
     def clear(self) -> None:
         """Drop all entries; counters keep accumulating."""
         self._data.clear()
+        self._keys.clear()
+        self._pos.clear()
+        self._last.clear()
 
     def reset_counters(self) -> None:
         self.hits = 0
@@ -147,6 +241,21 @@ def combine_cache_stats(
     }
 
 
+@dataclass(frozen=True)
+class SiftResult:
+    """Outcome of one in-place sifting pass (:meth:`BDD.sift`)."""
+
+    #: Live nodes (incl. terminal) when the pass started, post-GC.
+    initial_size: int
+    #: Live nodes when the pass finished.
+    final_size: int
+    #: Adjacent-level swaps performed (walks plus backtracking).
+    swaps: int
+    #: True when the pass left the variable order different from the
+    #: one it started with.
+    changed: bool
+
+
 class BDD:
     """A reduced ordered BDD manager with complemented 0-edges.
 
@@ -158,7 +267,9 @@ class BDD:
         mgr.eval(f, {"a": 1, "b": 0, "c": 1})
 
     Edges returned by this class are plain ``int`` handles; they are only
-    meaningful together with the manager that produced them.
+    meaningful together with the manager that produced them.  Reordering
+    (:meth:`sift`, :meth:`swap_adjacent`) preserves every edge's
+    function; :meth:`gc` invalidates edges not reachable from its roots.
     """
 
     #: Edge handle of constant TRUE.
@@ -173,15 +284,24 @@ class BDD:
         cache_policy: str = "fifo",
     ) -> None:
         # Node store (parallel arrays, index = node id).  Node 0 is the
-        # terminal; its high/low entries are never read.
+        # terminal; its high/low entries are never read.  `_ref` counts
+        # DAG parents only — external handles are pinned explicitly by
+        # the operations that free nodes (sift) or declared as roots
+        # (gc).  Freed slots carry _FREE_LEVEL and sit on `_free` until
+        # `_mk` recycles them.
         self._level: list[int] = [TERMINAL_LEVEL]
         self._high: list[int] = [0]
         self._low: list[int] = [0]
-        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ref: list[int] = [0]
+        self._free: list[int] = []
+        self._created = 1
+        # Unique table, split per level so a level swap touches exactly
+        # two subtables.  Keys are (high_edge, low_edge).
+        self._subtables: list[dict[tuple[int, int], int]] = []
         self._cache = OperationCache(cache_capacity, cache_policy)
         # Per-top-level-call memo overlay for ite (see the comment in
-        # :meth:`cofactor`): None outside a call, a dict inside one.
-        self._ite_overlay: dict[tuple, int] | None = None
+        # :meth:`ite`): None outside a call, a dict inside one.
+        self._op_overlay: dict[tuple, int] | None = None
         self._names: list[str] = []
         self._level_by_name: dict[str, int] = {}
         for name in var_names:
@@ -192,7 +312,7 @@ class BDD:
     # ------------------------------------------------------------------
     @property
     def op_cache(self) -> OperationCache:
-        """The unified operation cache (ite/cofactor/exists share it)."""
+        """The unified operation cache (all operators share it)."""
         return self._cache
 
     def cache_stats(self) -> dict[str, int | float]:
@@ -213,6 +333,7 @@ class BDD:
         level = len(self._names)
         self._names.append(name)
         self._level_by_name[name] = level
+        self._subtables.append({})
         return level
 
     @property
@@ -278,8 +399,19 @@ class BDD:
         return self._level[index], self._high[index], self._low[index]
 
     def num_nodes(self) -> int:
-        """Total nodes ever created in this manager (incl. terminal)."""
-        return len(self._level)
+        """Total nodes ever *created* in this manager (incl. terminal).
+
+        A monotone allocation counter: garbage collection and slot
+        recycling never decrease it.  Use :meth:`live_nodes` for the
+        current size of the store (the :class:`BddSizeExceeded
+        <repro.network.BddSizeExceeded>` guards do).
+        """
+        return self._created
+
+    def live_nodes(self) -> int:
+        """Nodes currently allocated (incl. terminal): created minus
+        freed by :meth:`gc` or reordering."""
+        return len(self._level) - len(self._free)
 
     # ------------------------------------------------------------------
     # Core construction
@@ -293,14 +425,26 @@ class BDD:
         if negated:
             high ^= 1
             low ^= 1
-        key = (level, high, low)
-        index = self._unique.get(key)
+        table = self._subtables[level]
+        key = (high, low)
+        index = table.get(key)
         if index is None:
-            index = len(self._level)
-            self._level.append(level)
-            self._high.append(high)
-            self._low.append(low)
-            self._unique[key] = index
+            free = self._free
+            if free:
+                index = free.pop()
+                self._level[index] = level
+                self._high[index] = high
+                self._low[index] = low
+            else:
+                index = len(self._level)
+                self._level.append(level)
+                self._high.append(high)
+                self._low.append(low)
+                self._ref.append(0)
+            self._ref[high >> 1] += 1
+            self._ref[low >> 1] += 1
+            table[key] = index
+            self._created += 1
         edge = index << 1
         return edge ^ 1 if negated else edge
 
@@ -318,6 +462,479 @@ class BDD:
         if edge & 1:
             return high ^ 1, low ^ 1
         return high, low
+
+    # ------------------------------------------------------------------
+    # Reference counting, garbage collection
+    # ------------------------------------------------------------------
+    def _deref(self, edge: int) -> None:
+        """Drop one DAG-parent reference from ``edge``'s node, freeing
+        it (and cascading into its children) when the count hits zero."""
+        ref = self._ref
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        free = self._free
+        freed = False
+        stack = [edge >> 1]
+        while stack:
+            index = stack.pop()
+            if index == 0:
+                continue
+            ref[index] -= 1
+            if ref[index] > 0:
+                continue
+            high = highs[index]
+            low = lows[index]
+            del self._subtables[levels[index]][(high, low)]
+            levels[index] = _FREE_LEVEL
+            free.append(index)
+            freed = True
+            stack.append(high >> 1)
+            stack.append(low >> 1)
+        if freed and len(self._cache):
+            # Freed slots may be recycled by _mk; memoized results
+            # referencing them by index would go stale.
+            self._cache.clear()
+
+    def pin(self, edge: int) -> None:
+        """Protect ``edge``'s node from being freed by level swaps.
+
+        :meth:`swap_adjacent` frees nodes whose last DAG parent is
+        rewritten away; an external handle is invisible to the
+        reference counts, so callers driving raw swaps must pin the
+        edges they hold (:meth:`sift` pins its roots itself).  Pins are
+        dropped by :meth:`gc`, which re-derives exact counts."""
+        if edge >> 1:
+            self._ref[edge >> 1] += 1
+
+    def unpin(self, edge: int) -> None:
+        """Release a :meth:`pin`.  Never frees the node — an unpinned,
+        unparented node stays live (like a fresh root) until gc."""
+        if edge >> 1:
+            self._ref[edge >> 1] -= 1
+
+    def gc(self, roots: Iterable[int] = ()) -> int:
+        """Mark-and-sweep: free every node not reachable from ``roots``.
+
+        Compacts the unique subtables, recycles the freed slots, resets
+        reference counts to exact DAG-parent counts and clears the
+        operation cache (whose entries may reference freed indices).
+        Returns the number of nodes collected.
+
+        **Every edge not reachable from ``roots`` is invalidated** —
+        callers must re-derive any other handles they hold (variable
+        edges are recreated on demand by :meth:`var`).
+        """
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        reachable = bytearray(len(levels))
+        reachable[0] = 1
+        stack = [edge >> 1 for edge in roots]
+        while stack:
+            index = stack.pop()
+            if reachable[index]:
+                continue
+            reachable[index] = 1
+            stack.append(highs[index] >> 1)
+            stack.append(lows[index] >> 1)
+        ref = self._ref
+        free = self._free
+        collected = 0
+        for index in range(1, len(levels)):
+            level = levels[index]
+            if level == _FREE_LEVEL:
+                continue
+            if reachable[index]:
+                ref[index] = 0
+                continue
+            del self._subtables[level][(highs[index], lows[index])]
+            levels[index] = _FREE_LEVEL
+            free.append(index)
+            ref[index] = 0
+            collected += 1
+        for index in range(1, len(levels)):
+            if levels[index] != _FREE_LEVEL:
+                ref[highs[index] >> 1] += 1
+                ref[lows[index] >> 1] += 1
+        if collected and len(self._cache):
+            self._cache.clear()
+        return collected
+
+    # ------------------------------------------------------------------
+    # In-place reordering
+    # ------------------------------------------------------------------
+    def swap_adjacent(self, level: int) -> int:
+        """Exchange the variables at ``level`` and ``level + 1`` in place.
+
+        Local node surgery in O(nodes at the two levels): nodes that do
+        not depend on both variables migrate between the two subtables;
+        nodes that do are rewritten *in place* (same index, so every
+        edge handle keeps denoting the same Boolean function over the
+        named variables).  Nodes of the lower level that die in the
+        surgery are freed exactly, via the reference counts.  Returns
+        :meth:`live_nodes` after the swap.
+        """
+        if not 0 <= level < len(self._names) - 1:
+            raise BDDError(f"no adjacent variable pair at level {level}")
+        if len(self._cache):
+            # Cofactor/exists results are memoized *by level*, and this
+            # swap changes which variable a level denotes — those
+            # entries would silently answer for the wrong variable.
+            # (Edge-keyed entries would survive — every node index
+            # keeps its function — but one flush covers both, and a
+            # sifting pass only pays it on the first swap.)
+            self._cache.clear()
+        upper, lower = level, level + 1
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        ref = self._ref
+        # Classify the upper level before touching anything: a node
+        # whose children avoid the lower level just migrates ("mover");
+        # one that depends on the lower variable is rewritten in place
+        # ("stayer").  Grandchild cofactors are captured now, while the
+        # level fields are still consistent.
+        movers: list[tuple[tuple[int, int], int]] = []
+        stayers: list[tuple[int, int, int, int, int, int, int]] = []
+        for key, index in self._subtables[upper].items():
+            f1, f0 = key
+            if levels[f1 >> 1] == lower or levels[f0 >> 1] == lower:
+                f11, f10 = self._cofactors(f1, lower)
+                f01, f00 = self._cofactors(f0, lower)
+                stayers.append((index, f1, f0, f11, f10, f01, f00))
+            else:
+                movers.append((key, index))
+        # Lower-level nodes do not depend on the upper variable: they
+        # keep their children and just move up one level.
+        new_upper: dict[tuple[int, int], int] = {}
+        for key, index in self._subtables[lower].items():
+            levels[index] = upper
+            new_upper[key] = index
+        new_lower: dict[tuple[int, int], int] = {}
+        for key, index in movers:
+            levels[index] = lower
+            new_lower[key] = index
+        self._subtables[upper] = new_upper
+        self._subtables[lower] = new_lower
+        # Rewrite the stayers: f = v2·(v1·f11 + v1'·f01) + v2'·(v1·f10
+        # + v1'·f00) after the swap.  The new high edge is regular
+        # because f11/f10 come off a regular 1-edge, so the in-place
+        # update cannot flip the node's polarity.
+        for index, f1, f0, f11, f10, f01, f00 in stayers:
+            high = self._mk(lower, f11, f01)
+            low = self._mk(lower, f10, f00)
+            ref[high >> 1] += 1
+            ref[low >> 1] += 1
+            highs[index] = high
+            lows[index] = low
+            new_upper[(high, low)] = index
+            self._deref(f1)
+            self._deref(f0)
+        names = self._names
+        names[upper], names[lower] = names[lower], names[upper]
+        self._level_by_name[names[upper]] = upper
+        self._level_by_name[names[lower]] = lower
+        return self.live_nodes()
+
+    def sift(
+        self,
+        roots: Sequence[int],
+        max_growth: float | None = DEFAULT_MAX_GROWTH,
+    ) -> SiftResult:
+        """One greedy Rudell sifting pass, in place.
+
+        Starts with :meth:`gc` over ``roots`` (so the live size *is*
+        the size of the functions being reordered — **edges not
+        reachable from ``roots`` are invalidated**), then walks each
+        variable — most populous level first — through every position
+        of the order via adjacent swaps, recording the live size at
+        each stop, and backtracks it to the best position seen.  A walk
+        direction is abandoned early once the size exceeds
+        ``max_growth`` times the size the variable started from
+        (``None`` disables the abort).
+
+        ``roots`` edges remain valid and keep denoting the same
+        functions; only the variable order (and therefore the node
+        population) changes.
+        """
+        roots = list(roots)
+        self.gc(roots)
+        for edge in roots:
+            self.pin(edge)
+        try:
+            return self._sift_pinned(max_growth)
+        finally:
+            for edge in roots:
+                self.unpin(edge)
+
+    def _sift_pinned(self, max_growth: float | None) -> SiftResult:
+        count = len(self._names)
+        initial = self.live_nodes()
+        if count < 2:
+            return SiftResult(initial, initial, 0, False)
+        # Visit order: decreasing node population (ties keep the
+        # current level order — `sorted` is stable).
+        population = {
+            name: len(self._subtables[level])
+            for level, name in enumerate(self._names)
+        }
+        current_size = initial
+        swaps = 0
+        changed = False
+        for name in sorted(self._names, key=lambda n: -population[n]):
+            position = self._level_by_name[name]
+            sizes = {position: current_size}
+            limit = None if max_growth is None else max_growth * current_size
+            pos = position
+            while pos > 0:
+                size = self.swap_adjacent(pos - 1)
+                swaps += 1
+                pos -= 1
+                sizes[pos] = size
+                if limit is not None and size > limit:
+                    break
+            while pos < count - 1:
+                size = self.swap_adjacent(pos)
+                swaps += 1
+                pos += 1
+                sizes[pos] = size
+                if limit is not None and size > limit:
+                    break
+            # Best position seen; the starting position wins ties, then
+            # the topmost candidate (the tie-break the rebuild-based
+            # sifter used, so both produce identical orders).
+            best_size, best_pos = sizes[position], position
+            for candidate in sorted(sizes):
+                if candidate != position and sizes[candidate] < best_size:
+                    best_size, best_pos = sizes[candidate], candidate
+            while pos > best_pos:
+                self.swap_adjacent(pos - 1)
+                swaps += 1
+                pos -= 1
+            while pos < best_pos:
+                self.swap_adjacent(pos)
+                swaps += 1
+                pos += 1
+            current_size = best_size
+            if best_pos != position:
+                changed = True
+        return SiftResult(initial, current_size, swaps, changed)
+
+    def check_invariants(self) -> None:
+        """Verify store and canonical-form invariants; raises
+        :class:`BDDError` on the first violation (tests and debugging —
+        cost is O(live nodes))."""
+        levels = self._level
+        seen = 0
+        for level, table in enumerate(self._subtables):
+            for (high, low), index in table.items():
+                if levels[index] != level:
+                    raise BDDError(f"node {index}: level field != subtable level")
+                if self._high[index] != high or self._low[index] != low:
+                    raise BDDError(f"node {index}: subtable key != node fields")
+                if high & 1:
+                    raise BDDError(f"node {index}: complemented high edge")
+                if high == low:
+                    raise BDDError(f"node {index}: redundant node")
+                if levels[high >> 1] <= level or levels[low >> 1] <= level:
+                    raise BDDError(f"node {index}: child above parent")
+                seen += 1
+        if seen != self.live_nodes() - 1:
+            raise BDDError(
+                f"subtables index {seen} nodes, store holds {self.live_nodes() - 1}"
+            )
+        parents = [0] * len(levels)
+        for index in range(1, len(levels)):
+            if levels[index] == _FREE_LEVEL:
+                continue
+            parents[self._high[index] >> 1] += 1
+            parents[self._low[index] >> 1] += 1
+        for index in range(1, len(levels)):
+            if levels[index] != _FREE_LEVEL and self._ref[index] < parents[index]:
+                raise BDDError(
+                    f"node {index}: ref {self._ref[index]} < parents {parents[index]}"
+                )
+
+    # ------------------------------------------------------------------
+    # Specialized apply kernels
+    # ------------------------------------------------------------------
+    def _and_terminal(self, f: int, g: int) -> int | None:
+        if f == g:
+            return f
+        if f ^ g == 1:
+            return self.ZERO
+        if f == self.ONE:
+            return g
+        if g == self.ONE:
+            return f
+        if f == self.ZERO or g == self.ZERO:
+            return self.ZERO
+        return None
+
+    def _and_lookup(self, f: int, g: int, local: dict[tuple[int, int], int]) -> int:
+        result = self._and_terminal(f, g)
+        if result is not None:
+            return result
+        if (g >> 1) < (f >> 1):
+            f, g = g, f
+        return local[(f, g)]
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction, via a dedicated iterative apply kernel.
+
+        Cheaper than routing through :meth:`ite`: AND needs no
+        standard-triple normalization (operands are just ordered by
+        node index so commuted calls share one ``_OP_AND`` cache
+        entry), and the explicit stack makes the recursion depth
+        independent of the variable count.
+        """
+        result = self._and_terminal(f, g)
+        if result is not None:
+            return result
+        if (g >> 1) < (f >> 1):
+            f, g = g, f
+        levels = self._level
+        cache = self._cache
+        # `local` guarantees each distinct operand pair is expanded at
+        # most once per top-level call, even when the shared cache is
+        # too small for the working set (same role as ite's overlay).
+        # None marks an in-flight pair; stack discipline guarantees it
+        # resolves before any parent pair reduces.
+        local: dict[tuple[int, int], int | None] = {}
+        stack = [(f, g, False)]
+        while stack:
+            a, b, ready = stack.pop()
+            key = (a, b)
+            if not ready:
+                if key in local:
+                    continue
+                cached = cache.get((_OP_AND, a, b))
+                if cached is not None:
+                    local[key] = cached
+                    continue
+                local[key] = None
+                top = min(levels[a >> 1], levels[b >> 1])
+                a1, a0 = self._cofactors(a, top)
+                b1, b0 = self._cofactors(b, top)
+                stack.append((a, b, True))
+                for x, y in ((a1, b1), (a0, b0)):
+                    if self._and_terminal(x, y) is None:
+                        if (y >> 1) < (x >> 1):
+                            x, y = y, x
+                        if (x, y) not in local:
+                            stack.append((x, y, False))
+            else:
+                top = min(levels[a >> 1], levels[b >> 1])
+                a1, a0 = self._cofactors(a, top)
+                b1, b0 = self._cofactors(b, top)
+                result = self._mk(
+                    top,
+                    self._and_lookup(a1, b1, local),
+                    self._and_lookup(a0, b0, local),
+                )
+                cache.put((_OP_AND, a, b), result)
+                local[key] = result
+        return local[(f, g)]
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction — De Morgan over the AND kernel, so commuted and
+        complemented calls all share the same ``_OP_AND`` cache entry."""
+        return self.and_(f ^ 1, g ^ 1) ^ 1
+
+    def _xor_terminal(self, f: int, g: int) -> int | None:
+        if f == g:
+            return self.ZERO
+        if f ^ g == 1:
+            return self.ONE
+        if f == self.ZERO:
+            return g
+        if f == self.ONE:
+            return g ^ 1
+        if g == self.ZERO:
+            return f
+        if g == self.ONE:
+            return f ^ 1
+        return None
+
+    def _xor_lookup(self, f: int, g: int, local: dict[tuple[int, int], int]) -> int:
+        result = self._xor_terminal(f, g)
+        if result is not None:
+            return result
+        negate = (f & 1) ^ (g & 1)
+        f &= ~1
+        g &= ~1
+        if (g >> 1) < (f >> 1):
+            f, g = g, f
+        return local[(f, g)] ^ negate
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive-or, via a dedicated iterative apply kernel.
+
+        XOR tolerates complement on either operand (the result just
+        flips), so the kernel canonicalizes every pair to two regular,
+        index-ordered edges — XOR/XNOR of either operand order all hit
+        one ``_OP_XOR`` cache entry.
+        """
+        result = self._xor_terminal(f, g)
+        if result is not None:
+            return result
+        negate = (f & 1) ^ (g & 1)
+        f &= ~1
+        g &= ~1
+        if (g >> 1) < (f >> 1):
+            f, g = g, f
+        levels = self._level
+        cache = self._cache
+        local: dict[tuple[int, int], int | None] = {}
+        stack = [(f, g, False)]
+        while stack:
+            a, b, ready = stack.pop()
+            key = (a, b)
+            if not ready:
+                if key in local:
+                    continue
+                cached = cache.get((_OP_XOR, a, b))
+                if cached is not None:
+                    local[key] = cached
+                    continue
+                local[key] = None
+                top = min(levels[a >> 1], levels[b >> 1])
+                a1, a0 = self._cofactors(a, top)
+                b1, b0 = self._cofactors(b, top)
+                stack.append((a, b, True))
+                for x, y in ((a1, b1), (a0, b0)):
+                    if self._xor_terminal(x, y) is None:
+                        x &= ~1
+                        y &= ~1
+                        if (y >> 1) < (x >> 1):
+                            x, y = y, x
+                        if (x, y) not in local:
+                            stack.append((x, y, False))
+            else:
+                top = min(levels[a >> 1], levels[b >> 1])
+                a1, a0 = self._cofactors(a, top)
+                b1, b0 = self._cofactors(b, top)
+                result = self._mk(
+                    top,
+                    self._xor_lookup(a1, b1, local),
+                    self._xor_lookup(a0, b0, local),
+                )
+                cache.put((_OP_XOR, a, b), result)
+                local[key] = result
+        return local[(f, g)] ^ negate
+
+    def xnor(self, f: int, g: int) -> int:
+        return self.xor(f, g) ^ 1
+
+    def nand(self, f: int, g: int) -> int:
+        return self.and_(f, g) ^ 1
+
+    def nor(self, f: int, g: int) -> int:
+        return self.or_(f, g) ^ 1
+
+    def implies(self, f: int, g: int) -> int:
+        return self.or_(f ^ 1, g)
 
     # ------------------------------------------------------------------
     # ITE and derived operators
@@ -345,30 +962,18 @@ class BDD:
             return f ^ 1
         if g == h:
             return g
-        # Standard-triple normalization (Brace/Rudell/Bryant): when one
-        # operand is constant or the complement of another, the call is
-        # a commutative two-operand gate — rewrite it so the operand
-        # with the smaller node index drives, collapsing equivalent
-        # calls onto a single cache entry:
-        #   ITE(f,1,h) = ITE(h,1,f)          (OR commutes)
-        #   ITE(f,0,h) = ITE(h',0,f')        (NOR-shape commutes)
-        #   ITE(f,g,0) = ITE(g,f,0)          (AND commutes)
-        #   ITE(f,g,1) = ITE(g',f',1)        (implication contraposes)
-        #   ITE(f,g,g') = ITE(g,f,f')        (XNOR commutes)
+        # Two-operand shapes go to the specialized kernels (their cache
+        # entries, their terminal cases — no triple normalization).
         if g == self.ONE:
-            if (h >> 1) < (f >> 1):
-                f, h = h, f
-        elif g == self.ZERO:
-            if (h >> 1) < (f >> 1):
-                f, h = h ^ 1, f ^ 1
-        elif h == self.ZERO:
-            if (g >> 1) < (f >> 1):
-                f, g = g, f
-        elif h == self.ONE:
-            if (g >> 1) < (f >> 1):
-                f, g = g ^ 1, f ^ 1
-        elif h == g ^ 1 and (g >> 1) < (f >> 1):
-            f, g, h = g, f, f ^ 1
+            return self.or_(f, h)
+        if g == self.ZERO:
+            return self.and_(f ^ 1, h)
+        if h == self.ZERO:
+            return self.and_(f, g)
+        if h == self.ONE:
+            return self.or_(f ^ 1, g)
+        if h == g ^ 1:
+            return self.xnor(f, g)
         # Canonicalize: predicate regular, then then-branch regular.
         if f & 1:
             f ^= 1
@@ -378,15 +983,15 @@ class BDD:
             g ^= 1
             h ^= 1
             negate_out = True
-        # Per-call overlay: even if the shared FIFO cache is smaller
-        # than this call's working set and evicts subresults mid-
-        # recursion, every distinct subtriple is still computed at most
-        # once per top-level call (the old unbounded cache's guarantee).
+        # Per-call overlay: even if the shared cache is smaller than
+        # this call's working set and evicts subresults mid-recursion,
+        # every distinct subtriple is still computed at most once per
+        # top-level call (the old unbounded cache's guarantee).
         key = (_OP_ITE, f, g, h)
-        local = self._ite_overlay
+        local = self._op_overlay
         outermost = local is None
         if outermost:
-            local = self._ite_overlay = {}
+            local = self._op_overlay = {}
         try:
             result = local.get(key)
             if result is None:
@@ -405,33 +1010,12 @@ class BDD:
                 local[key] = result
         finally:
             if outermost:
-                self._ite_overlay = None
+                self._op_overlay = None
         return result ^ 1 if negate_out else result
 
     def not_(self, f: int) -> int:
         """Complement (free with complemented edges)."""
         return f ^ 1
-
-    def and_(self, f: int, g: int) -> int:
-        return self.ite(f, g, self.ZERO)
-
-    def or_(self, f: int, g: int) -> int:
-        return self.ite(f, self.ONE, g)
-
-    def xor(self, f: int, g: int) -> int:
-        return self.ite(f, g ^ 1, g)
-
-    def xnor(self, f: int, g: int) -> int:
-        return self.ite(f, g, g ^ 1)
-
-    def nand(self, f: int, g: int) -> int:
-        return self.and_(f, g) ^ 1
-
-    def nor(self, f: int, g: int) -> int:
-        return self.or_(f, g) ^ 1
-
-    def implies(self, f: int, g: int) -> int:
-        return self.ite(f, g, self.ONE)
 
     def maj(self, a: int, b: int, c: int) -> int:
         """Three-input majority ``ab + ac + bc`` — the paper's MAJ operator."""
@@ -470,7 +1054,7 @@ class BDD:
         cache = self._cache
         # Per-call overlay: guarantees every node is expanded at most
         # once per walk even when the shared cache is smaller than the
-        # traversal (FIFO eviction mid-walk must not reintroduce the
+        # traversal (eviction mid-walk must not reintroduce the
         # exponential re-expansion the old local memo prevented).
         local: dict[int, int] = {}
 
@@ -796,7 +1380,10 @@ class BDD:
         return walk(edge)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<BDD vars={len(self._names)} nodes={len(self._level)}>"
+        return (
+            f"<BDD vars={len(self._names)} live={self.live_nodes()} "
+            f"created={self._created}>"
+        )
 
 
 def maj3(values: Sequence[object]) -> bool:

@@ -4,19 +4,28 @@ The BDS-MAJ decomposition engine reorders each supernode BDD before
 searching for dominators (paper Section IV.B: "As a first step, it
 performs variable reordering to compact the size of the input BDD").
 
-Because nodes in this package are immutable unique-table entries, a
-reorder is realized by *rebuilding* the functions in a fresh manager
-with the permuted order (the classical transfer-with-ITE construction).
-That is more expensive than in-place sifting on a C package, but the
-supernode BDDs produced by network partitioning are small, and the
-guards below skip reordering when it could not pay for itself.
+:func:`sift` is a true in-place Rudell sifting pass: the manager's
+per-level unique subtables let :meth:`BDD.swap_adjacent` exchange two
+adjacent variables by local node surgery, so trying a variable at every
+position costs O(total nodes) instead of one full rebuild *per
+position*.  That makes reordering cheap enough to run on every
+supernode — there are no size guards anymore (the ``max_vars`` /
+``max_nodes`` parameters remain for callers that want to opt out).
+
+:func:`sift_rebuild` keeps the historical transfer-based sifter: each
+candidate position is realized by rebuilding the functions in a fresh
+manager.  It searches the same neighborhood with the same tie-breaks,
+so it reaches the same final order — it is retained as the
+equivalence/benchmark baseline (``benchmarks/bench_reorder.py`` pins
+the in-place engine to ≥ its quality and a multiple of its speed).
 """
 
 from __future__ import annotations
 
-from .manager import BDD
+from .manager import BDD, DEFAULT_MAX_GROWTH, SiftResult
 
-#: Do not attempt sifting above these sizes (rebuild cost would dominate).
+#: Historical guard defaults of the rebuild-based sifter (kept for the
+#: benchmark baseline; the in-place :func:`sift` no longer guards).
 DEFAULT_MAX_SIFT_VARS = 14
 DEFAULT_MAX_SIFT_NODES = 600
 
@@ -40,18 +49,50 @@ def reorder(mgr: BDD, roots: list[int], order: list[str]) -> tuple[BDD, list[int
 def sift(
     mgr: BDD,
     roots: list[int],
-    max_vars: int = DEFAULT_MAX_SIFT_VARS,
-    max_nodes: int = DEFAULT_MAX_SIFT_NODES,
+    max_vars: int | None = None,
+    max_nodes: int | None = None,
+    max_growth: float | None = DEFAULT_MAX_GROWTH,
 ) -> tuple[BDD, list[int]]:
-    """One greedy sifting pass (Rudell-style, rebuild-based).
+    """One greedy in-place sifting pass (Rudell-style).
+
+    Reorders ``mgr`` itself via :meth:`BDD.sift`; the returned manager
+    is the input manager and the returned edges equal ``roots`` (level
+    swaps preserve every edge's function), so callers can keep their
+    handles.  Edges *not* listed in ``roots`` are invalidated by the
+    initial garbage collection.
+
+    ``max_vars`` / ``max_nodes`` opt out of sifting for oversized
+    inputs (both default to ``None`` — no guard: the in-place engine is
+    cheap enough to always run).  Callers that need the pass outcome
+    (did the order change, how many swaps) should call
+    :meth:`BDD.sift` directly, which returns a :class:`SiftResult`.
+    """
+    if max_vars is not None and mgr.num_vars > max_vars:
+        return mgr, list(roots)
+    if max_nodes is not None and mgr.size_many(roots) > max_nodes:
+        return mgr, list(roots)
+    mgr.sift(roots, max_growth=max_growth)
+    return mgr, list(roots)
+
+
+def sift_rebuild(
+    mgr: BDD,
+    roots: list[int],
+    max_vars: int | None = None,
+    max_nodes: int | None = None,
+) -> tuple[BDD, list[int]]:
+    """One greedy sifting pass realized by full rebuilds (the baseline).
 
     Variables are visited in decreasing occurrence count; each is tried
-    at every position of the order and left at the best one.  Returns a
+    at every position of the order — one transfer into a fresh manager
+    per candidate position — and left at the best one.  Returns a
     (possibly new) manager and the corresponding roots.  When the input
-    exceeds the size guards the input is returned unchanged.
+    exceeds the optional size guards the input is returned unchanged.
     """
     names = list(mgr.var_names)
-    if len(names) > max_vars or mgr.size_many(roots) > max_nodes:
+    if max_vars is not None and len(names) > max_vars:
+        return mgr, roots
+    if max_nodes is not None and mgr.size_many(roots) > max_nodes:
         return mgr, roots
 
     current_mgr, current_roots = mgr, list(roots)
@@ -87,3 +128,14 @@ def _occurrence_counts(mgr: BDD, roots: list[int]) -> dict[str, int]:
         name = mgr.name_of(level)
         counts[name] = counts.get(name, 0) + 1
     return counts
+
+
+__all__ = [
+    "DEFAULT_MAX_GROWTH",
+    "DEFAULT_MAX_SIFT_NODES",
+    "DEFAULT_MAX_SIFT_VARS",
+    "SiftResult",
+    "reorder",
+    "sift",
+    "sift_rebuild",
+]

@@ -98,6 +98,12 @@ class DecompositionEngine:
         self.config = config if config is not None else EngineConfig()
         self.stats = EngineStats()
         self._cache: dict[int, int] = {}
+        # Reachable-size memo, keyed by regular edge (a function and its
+        # complement share one entry): every decomposition step asks for
+        # the size of its operand, and the recursion revisits shared
+        # subfunctions, so the O(nodes) reachability walk would
+        # otherwise repeat per visit.
+        self._sizes: dict[int, int] = {}
 
     def decompose(self, f: int) -> int:
         """Return the factoring-tree id computing the function ``f``."""
@@ -119,6 +125,14 @@ class DecompositionEngine:
         self._cache[f] = result
         return result
 
+    def _size(self, f: int) -> int:
+        key = f & ~1
+        size = self._sizes.get(key)
+        if size is None:
+            size = self.mgr.size(f)
+            self._sizes[key] = size
+        return size
+
     def cache_report(self) -> dict[str, int | float]:
         """Snapshot the manager's unified op-cache counters into
         :attr:`stats` and return them (flows aggregate this per
@@ -138,7 +152,7 @@ class DecompositionEngine:
             self.stats.constant += 1
             return builder.CONST0
 
-        size = mgr.size(f)
+        size = self._size(f)
         if size == 1:
             # Canonical single-node functions are exactly the literals.
             self.stats.literal += 1

@@ -29,7 +29,7 @@ from ..api import (
     get_pipeline,
     resolve_source,
 )
-from ..bdd.manager import DEFAULT_CACHE_CAPACITY
+from ..bdd.manager import CACHE_POLICIES, DEFAULT_CACHE_CAPACITY
 from ..benchgen import BENCHMARKS
 from ..benchgen.registry import benchmark_keys
 from ..flows import BATCH_FLOWS, FLOWS, BatchConfig, run_batch
@@ -122,10 +122,11 @@ def main(argv: list[str] | None = None) -> int:
     batch.add_argument("--verify", action="store_true", help="equivalence-check outputs")
     batch.add_argument(
         "--cache-policy",
-        choices=["fifo", "lru"],
+        choices=list(CACHE_POLICIES),
         default="fifo",
         help="BDD operation-cache eviction policy (fifo keeps the "
-        "published counters)",
+        "published counters; lru and 2random trade determinism-safe "
+        "recency tracking for higher hit rates under pressure)",
     )
     batch.add_argument(
         "--cache-capacity",

@@ -28,8 +28,9 @@ workers**:
 * every reported quantity (node counts, decomposition steps, unified
   op-cache counters) is a deterministic function of the circuit alone —
   the cache uses int-only keys and deterministic eviction (FIFO by
-  default, LRU via ``cache_policy="lru"``), so its hit/miss counts do
-  not depend on ``PYTHONHASHSEED`` or scheduling;
+  default; ``cache_policy="lru"`` and ``"2random"`` are deterministic
+  too), so its hit/miss counts do not depend on ``PYTHONHASHSEED`` or
+  scheduling;
 * wall-clock timings are collected but excluded from serialization
   unless ``include_timing=True`` is requested explicitly.
 
@@ -122,7 +123,7 @@ class BatchConfig:
     #: Equivalence-check every synthesized circuit (slow on big ones).
     verify: bool = False
     #: BDD operation-cache eviction policy for the flows' managers
-    #: ("fifo" | "lru").  The FIFO default keeps every published
+    #: ("fifo" | "lru" | "2random").  The FIFO default keeps every published
     #: counter unchanged.
     cache_policy: str = "fifo"
     #: BDD operation-cache capacity per manager (entries, not bytes).

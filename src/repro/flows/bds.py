@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..bdd.manager import combine_cache_stats
-from ..bdd.reorder import sift
 from ..core import DecompositionEngine, EngineConfig, TreeBuilder
 from ..core.emit import network_from_trees
 from ..mapping.library import CellLibrary
@@ -32,8 +31,9 @@ class BdsFlowConfig:
         default_factory=lambda: PartitionConfig(max_support=10, max_bdd_nodes=220)
     )
     engine: EngineConfig = field(default_factory=EngineConfig)
-    #: Variable reordering before decomposition (Section IV.B); sifting
-    #: is skipped automatically for supernodes beyond its size guards.
+    #: Variable reordering before decomposition (Section IV.B).  The
+    #: in-place sifting engine is cheap enough to run on *every*
+    #: supernode — there are no size guards anymore.
     reorder: bool = True
     verify: bool = True
     library: CellLibrary | None = None
@@ -54,8 +54,8 @@ class BdsTrace:
     mux_steps: int = 0
     tree_nodes: int = 0
     #: Unified BDD operation-cache counters, summed over the supernode
-    #: managers the flow retains (construction + decomposition traffic;
-    #: sifting's discarded trial managers are not instrumented).
+    #: managers (construction + decomposition traffic; in-place sifting
+    #: itself performs no cached operations).
     bdd_cache_hits: int = 0
     bdd_cache_misses: int = 0
     bdd_cache_evictions: int = 0
@@ -102,15 +102,11 @@ def bds_optimize(
     for supernode, mgr, root in partition_with_bdds(network, config.partition):
         trace.supernodes += 1
         if config.reorder:
-            new_mgr, (new_root,) = sift(mgr, [root])
-            if new_mgr is not mgr:
+            # In-place sifting: the manager and the root edge survive
+            # (so do its cache counters, which the engine snapshot
+            # below reports cumulatively).
+            if mgr.sift([root]).changed:
                 trace.sifted += 1
-                # The pre-sift manager is dropped here; fold its
-                # construction cache traffic into the trace first.
-                # (sift's internal trial managers are discarded
-                # uninstrumented and never counted.)
-                trace.add_cache_stats(mgr.cache_stats())
-                mgr, root = new_mgr, new_root
         engine = DecompositionEngine(mgr, builder, config.engine)
         roots[supernode.output] = engine.decompose(root)
         trace.add_cache_stats(engine.cache_report())

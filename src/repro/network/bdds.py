@@ -59,7 +59,9 @@ def global_bdds(
     for name in network.topological_order():
         node = network.node(name)
         edges[name] = cover_to_bdd(mgr, node, [edges[f] for f in node.fanins])
-        if max_nodes is not None and mgr.num_nodes() > max_nodes:
+        # Live, not ever-allocated: a caller that GC'd the manager
+        # between outputs is charged only for what is still reachable.
+        if max_nodes is not None and mgr.live_nodes() > max_nodes:
             raise BddSizeExceeded(
                 f"global BDD exceeded {max_nodes} nodes at {name!r}"
             )
@@ -104,7 +106,7 @@ def supernode_bdd(
                     stack.append((fanin, False))
             continue
         edge = cover_to_bdd(mgr, node, [cache[f] for f in node.fanins])
-        if max_nodes is not None and mgr.num_nodes() > max_nodes:
+        if max_nodes is not None and mgr.live_nodes() > max_nodes:
             raise BddSizeExceeded(
                 f"supernode BDD for {output!r} exceeded {max_nodes} nodes"
             )

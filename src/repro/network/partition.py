@@ -46,7 +46,7 @@ class PartitionConfig:
     #: absorbed or duplicated (e.g. XOR gates the DC-like flow keeps).
     hard_signals: frozenset[str] = frozenset()
     #: Eviction policy of every local BDD manager's operation cache
-    #: ("fifo" | "lru"); FIFO is the measured baseline.
+    #: ("fifo" | "lru" | "2random"); FIFO is the measured baseline.
     cache_policy: str = "fifo"
     #: Capacity (entries) of every local BDD manager's operation cache;
     #: the default keeps the published counters unchanged.
@@ -213,6 +213,7 @@ def partition_with_bdds(
             cache_policy=config.cache_policy,
             cache_capacity=config.cache_capacity,
         )
+        mgr.gc([root])
         built[name] = (singleton, mgr, root)
 
     for supernode in partition(network, config):
@@ -223,6 +224,10 @@ def partition_with_bdds(
                 if member not in built:
                     build_singleton(member)
             continue
+        # Only the cone root survives the build: collect the member
+        # signals' intermediate BDDs so downstream sifting/decomposition
+        # starts from a store holding exactly the live function.
+        mgr.gc([root])
         built[supernode.output] = (supernode, mgr, root)
 
     # Closure pass: materialize referenced-but-unemitted signals.

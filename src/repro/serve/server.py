@@ -2,10 +2,12 @@
 
 A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`
 (stdlib only — the repo's no-heavy-deps rule applies to the serving
-layer too).  Every connection carries one request and is closed after
-the response, which keeps the protocol handling to a screenful and is
-plenty for a synthesis service whose unit of work is seconds, not
-microseconds.
+layer too).  Connections are persistent by HTTP/1.1 default: a client
+polling a job reuses one socket for the whole conversation, and the
+``Connection:`` request header is honored (``close`` to drop after the
+response; HTTP/1.0 clients must opt in with ``keep-alive``).  The
+events stream is the exception — its end is signalled by closing the
+connection.
 
 Endpoints
 ---------
@@ -136,12 +138,39 @@ class SynthesisService:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve requests off one connection until the client closes it,
+        asks to (``Connection: close``), streams events, or errors.
+
+        HTTP/1.1 connections are persistent by default; HTTP/1.0 ones
+        only with an explicit ``Connection: keep-alive``.  Error
+        responses always close — after a protocol error the framing of
+        the byte stream can no longer be trusted.
+        """
         try:
-            parsed = await self._read_request(reader)
-            if parsed is not None:
-                method, path, query, body = parsed
-                await self._route(writer, method, path, query, body)
-        except WireError as exc:
+            keep_alive = False
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, query, body, headers, version = parsed
+                connection = headers.get("connection", "").lower()
+                if version == "HTTP/1.0":
+                    keep_alive = connection == "keep-alive"
+                else:
+                    keep_alive = connection != "close"
+                try:
+                    streamed = await self._route(
+                        writer, method, path, query, body, keep_alive
+                    )
+                except WireError as exc:
+                    self._write_response(
+                        writer, exc.status, encode_json({"error": str(exc)})
+                    )
+                    break
+                if streamed or not keep_alive:
+                    break
+                await writer.drain()
+        except WireError as exc:  # malformed framing: respond and close
             self._write_response(
                 writer, exc.status, encode_json({"error": str(exc)})
             )
@@ -163,14 +192,14 @@ class SynthesisService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict[str, list[str]], bytes] | None:
+    ) -> tuple[str, str, dict[str, list[str]], bytes, dict[str, str], str] | None:
         request_line = await reader.readline()
         if not request_line.strip():
             return None
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3:
             raise WireError("malformed request line")
-        method, target, _version = parts
+        method, target, version = parts
         headers: dict[str, str] = {}
         while True:
             line = await reader.readline()
@@ -186,7 +215,7 @@ class SynthesisService:
             raise WireError("request body too large", status=413)
         body = await reader.readexactly(length) if length > 0 else b""
         url = urlsplit(target)
-        return method.upper(), url.path, parse_qs(url.query), body
+        return method.upper(), url.path, parse_qs(url.query), body, headers, version
 
     def _write_response(
         self,
@@ -194,16 +223,21 @@ class SynthesisService:
         status: int,
         body: bytes,
         content_type: str = "application/json",
+        keep_alive: bool = False,
     ) -> None:
-        writer.write(self._head(status, content_type, len(body)) + body)
+        writer.write(self._head(status, content_type, len(body), keep_alive) + body)
 
     def _head(
-        self, status: int, content_type: str, length: int | None
+        self,
+        status: int,
+        content_type: str,
+        length: int | None,
+        keep_alive: bool = False,
     ) -> bytes:
         lines = [
             f"HTTP/1.1 {status} {HTTPStatus(status).phrase}",
             f"Content-Type: {content_type}",
-            "Connection: close",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         if length is not None:
             lines.append(f"Content-Length: {length}")
@@ -219,7 +253,11 @@ class SynthesisService:
         path: str,
         query: dict[str, list[str]],
         body: bytes,
-    ) -> None:
+        keep_alive: bool = False,
+    ) -> bool:
+        """Dispatch one request.  Returns True when the response was a
+        stream whose end is signalled by closing the connection (the
+        events endpoint), so the caller must not reuse the socket."""
         segments = [part for part in path.split("/") if part]
         if segments == ["healthz"]:
             self._require(method, "GET")
@@ -227,11 +265,14 @@ class SynthesisService:
                 writer,
                 200,
                 encode_json({"status": "ok", "jobs": self.store.counts()}),
+                keep_alive=keep_alive,
             )
         elif segments == ["jobs"]:
             if method == "POST":
                 job = await self.submit_async(parse_submission(body))
-                self._write_response(writer, 202, encode_json(job_payload(job)))
+                self._write_response(
+                    writer, 202, encode_json(job_payload(job)), keep_alive=keep_alive
+                )
             elif method == "GET":
                 self._write_response(
                     writer,
@@ -239,30 +280,37 @@ class SynthesisService:
                     encode_json(
                         {"jobs": [job_payload(j) for j in self.store.jobs()]}
                     ),
+                    keep_alive=keep_alive,
                 )
             else:
                 raise WireError("use GET or POST on /jobs", status=405)
         elif len(segments) == 2 and segments[0] == "jobs":
             self._require(method, "GET")
             job = self._job(segments[1])
-            self._write_response(writer, 200, encode_json(job_payload(job)))
+            self._write_response(
+                writer, 200, encode_json(job_payload(job)), keep_alive=keep_alive
+            )
         elif len(segments) == 3 and segments[0] == "jobs":
             job = self._job(segments[1])
             action = segments[2]
             if action == "result":
                 self._require(method, "GET")
-                self._send_result(writer, job, query)
+                self._send_result(writer, job, query, keep_alive)
             elif action == "cancel":
                 self._require(method, "POST")
                 job.request_cancel()
-                self._write_response(writer, 200, encode_json(job_payload(job)))
+                self._write_response(
+                    writer, 200, encode_json(job_payload(job)), keep_alive=keep_alive
+                )
             elif action == "events":
                 self._require(method, "GET")
                 await self._stream_events(writer, job)
+                return True
             else:
                 raise WireError(f"unknown job action {action!r}", status=404)
         else:
             raise WireError(f"no such endpoint: {path!r}", status=404)
+        return False
 
     def _require(self, method: str, expected: str) -> None:
         if method != expected:
@@ -275,7 +323,11 @@ class SynthesisService:
         return job
 
     def _send_result(
-        self, writer: asyncio.StreamWriter, job: Job, query: dict[str, list[str]]
+        self,
+        writer: asyncio.StreamWriter,
+        job: Job,
+        query: dict[str, list[str]],
+        keep_alive: bool = False,
     ) -> None:
         if job.state != DONE or job.report is None:
             raise WireError(
@@ -286,10 +338,12 @@ class SynthesisService:
         # batch` output for the same circuits (timings excluded).
         if query.get("format", ["json"])[-1] == "csv":
             body = job.report.to_csv(include_timing).encode("utf-8")
-            self._write_response(writer, 200, body, content_type="text/csv")
+            self._write_response(
+                writer, 200, body, content_type="text/csv", keep_alive=keep_alive
+            )
         else:
             body = job.report.to_json(include_timing).encode("utf-8")
-            self._write_response(writer, 200, body)
+            self._write_response(writer, 200, body, keep_alive=keep_alive)
 
     async def _stream_events(
         self, writer: asyncio.StreamWriter, job: Job

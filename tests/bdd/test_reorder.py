@@ -1,4 +1,7 @@
-"""Tests for variable reordering (rebuild-based sifting)."""
+"""Tests for variable reordering (the :mod:`repro.bdd.reorder` facade:
+in-place sifting behind the historical ``sift`` signature, plus the
+rebuild-based ``reorder`` construction).  The in-place machinery's own
+property tests live in ``test_sift_inplace.py``."""
 
 from __future__ import annotations
 

@@ -16,7 +16,7 @@ import pytest
 from repro.flows import BatchConfig, run_batch
 from repro.serve import SynthesisService
 
-from .client import http_json, http_request, poll_job
+from .client import HttpClient, http_json, http_request, poll_job
 
 CIRCUITS = ["alu2", "f51m"]
 
@@ -138,6 +138,61 @@ class TestEndToEnd:
             )
             assert status == 200
             assert b"elapsed_seconds" in timed
+
+        run(_with_service(scenario, concurrency=1))
+
+
+class TestKeepAlive:
+    def test_many_requests_share_one_connection(self):
+        """HTTP/1.1 default: the socket survives framed responses, and a
+        whole submit/poll/result conversation rides one connection."""
+
+        async def scenario(service, host, port):
+            client = await HttpClient.connect(host, port)
+            try:
+                for _ in range(3):
+                    status, health = await client.request_json("GET", "/healthz")
+                    assert status == 200
+                    assert health["status"] == "ok"
+                    assert client.last_headers["connection"] == "keep-alive"
+                status, job = await client.request_json(
+                    "POST", "/jobs", {"circuits": ["f51m"]}
+                )
+                assert status == 202
+                while True:
+                    _, payload = await client.request_json(
+                        "GET", f"/jobs/{job['id']}"
+                    )
+                    if payload["status"] == "done":
+                        break
+                    await asyncio.sleep(0.05)
+                status, served = await client.request(
+                    "GET", f"/jobs/{job['id']}/result"
+                )
+                assert status == 200
+                assert client.requests_sent >= 5  # all on one socket
+                expected = run_batch(["f51m"], BatchConfig()).to_json().encode()
+                assert served == expected
+            finally:
+                await client.aclose()
+
+        run(_with_service(scenario, concurrency=1))
+
+    def test_connection_close_is_honored(self):
+        """A ``Connection: close`` request ends the persistent
+        connection after the response."""
+
+        async def scenario(service, host, port):
+            client = await HttpClient.connect(host, port)
+            try:
+                status, _body = await client.request(
+                    "GET", "/healthz", close=True
+                )
+                assert status == 200
+                assert client.last_headers["connection"] == "close"
+                assert await client._reader.read() == b""  # EOF: closed
+            finally:
+                await client.aclose()
 
         run(_with_service(scenario, concurrency=1))
 
