@@ -29,7 +29,12 @@ from ..aig import aig_to_network, network_to_aig, resyn2, resyn_quick
 from ..bdd.isop import isop_cover_rows
 from ..core import DecompositionEngine, TreeBuilder
 from ..core.emit import network_from_trees
-from ..flows.bds import BdsTrace
+from ..flows.bds import (
+    BdsTrace,
+    normalize_reorder_policy,
+    partition_config_for,
+    reorder_supernode,
+)
 from ..flows.common import map_and_analyze, verify_or_raise
 from ..mapping.mapper import classify_gate
 from ..network import PartitionConfig, partition_with_bdds
@@ -62,16 +67,29 @@ class LoadInput:
 # BDS-MAJ / BDS-PGA stages (paper Figure 3)
 # ----------------------------------------------------------------------
 class BuildBdds:
-    """Partition into supernodes and build every local BDD (IV.A)."""
+    """Partition into supernodes and build every local BDD (IV.A).
+
+    Under ``config.reorder == "dynamic"`` the local BDDs are built with
+    growth-triggered reordering armed (see
+    :class:`~repro.network.PartitionConfig`): clusters whose
+    construction-order BDD overflows the node budget are sifted
+    mid-build instead of demoted.
+    """
 
     name = "build-bdds"
     optimize_timed = True
 
     def run(self, ctx: SynthesisContext) -> SynthesisContext:
         config = ctx.config
-        partitions = partition_with_bdds(ctx.require("network"), config.partition)
+        partitions = partition_with_bdds(
+            ctx.require("network"),
+            partition_config_for(
+                config.partition, normalize_reorder_policy(config.reorder)
+            ),
+        )
         trace = BdsTrace()
         trace.supernodes = len(partitions)
+        trace.reorderings = sum(mgr.reorderings for _s, mgr, _r in partitions)
         ctx.scratch.update(
             partitions=partitions,
             trace=trace,
@@ -88,17 +106,23 @@ class ReorderVariables:
     levels by local node surgery, so there is no size guard anymore.
     The manager and the root edge survive the pass unchanged (only the
     variable order moves), so the partition tuples are reused as-is.
+    ``config.reorder`` selects the policy: ``"once"`` (and
+    ``"dynamic"``, whose construction-time reorders already ran in
+    ``build-bdds``) run one pass, ``"converge"`` repeats passes to a
+    fixpoint, ``"none"`` skips the stage.
     """
 
     name = "reorder"
     optimize_timed = True
 
     def run(self, ctx: SynthesisContext) -> SynthesisContext:
-        if not ctx.config.reorder:
+        policy = normalize_reorder_policy(ctx.config.reorder)
+        if policy == "none":
             return ctx
         trace = ctx.scratch["trace"]
         for _supernode, mgr, root in ctx.scratch["partitions"]:
-            if mgr.sift([root]).changed:
+            result = reorder_supernode(mgr, root, policy)
+            if result is not None and result.changed:
                 trace.sifted += 1
         return ctx
 

@@ -34,6 +34,8 @@ from .manager import (
     CACHE_POLICIES,
     DEFAULT_CACHE_CAPACITY,
     DEFAULT_MAX_GROWTH,
+    DEFAULT_MAX_PASSES,
+    DEFAULT_REORDER_THRESHOLD,
     OperationCache,
     SiftResult,
     TERMINAL_LEVEL,
@@ -42,7 +44,14 @@ from .manager import (
 )
 from .isop import bdd_isop, isop_cover_rows
 from .quantify import count_paths, exists, forall, iter_cubes
-from .reorder import reorder, sift, sift_rebuild
+from .reorder import (
+    reorder,
+    sift,
+    sift_converge,
+    sift_groups,
+    sift_rebuild,
+    symmetry_groups,
+)
 from .substitute import (
     EdgeStatistics,
     NodeFanin,
@@ -61,6 +70,8 @@ __all__ = [
     "CareSetError",
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_MAX_GROWTH",
+    "DEFAULT_MAX_PASSES",
+    "DEFAULT_REORDER_THRESHOLD",
     "SiftResult",
     "DominatorDecomposition",
     "EdgeStatistics",
@@ -92,8 +103,11 @@ __all__ = [
     "replace_node",
     "restrict",
     "sift",
+    "sift_converge",
+    "sift_groups",
     "sift_rebuild",
     "simple_dominator_nodes",
+    "symmetry_groups",
     "to_dot",
     "xor_split",
 ]

@@ -22,7 +22,15 @@ the in-place engine to ≥ its quality and a multiple of its speed).
 
 from __future__ import annotations
 
-from .manager import BDD, DEFAULT_MAX_GROWTH, SiftResult
+from typing import Sequence
+
+from .manager import (
+    BDD,
+    DEFAULT_MAX_GROWTH,
+    DEFAULT_MAX_PASSES,
+    DEFAULT_REORDER_THRESHOLD,
+    SiftResult,
+)
 
 #: Historical guard defaults of the rebuild-based sifter (kept for the
 #: benchmark baseline; the in-place :func:`sift` no longer guards).
@@ -73,6 +81,39 @@ def sift(
         return mgr, list(roots)
     mgr.sift(roots, max_growth=max_growth)
     return mgr, list(roots)
+
+
+def sift_converge(
+    mgr: BDD,
+    roots: list[int],
+    max_passes: int = DEFAULT_MAX_PASSES,
+    max_growth: float | None = DEFAULT_MAX_GROWTH,
+) -> tuple[BDD, list[int]]:
+    """Converge-to-fixpoint sifting (:meth:`BDD.sift_converge`) with the
+    same return shape as :func:`sift`, for callers written against the
+    rebuild-era interface.  The manager and edges are returned
+    unchanged; callers that need the pass outcome should call
+    :meth:`BDD.sift_converge` directly."""
+    mgr.sift_converge(roots, max_passes=max_passes, max_growth=max_growth)
+    return mgr, list(roots)
+
+
+def sift_groups(
+    mgr: BDD,
+    roots: list[int],
+    groups: Sequence[Sequence[str]] | None = None,
+    max_growth: float | None = DEFAULT_MAX_GROWTH,
+) -> tuple[BDD, list[int]]:
+    """Symmetric group sifting (:meth:`BDD.sift_groups`) with the same
+    return shape as :func:`sift`.  ``groups`` defaults to the detected
+    :meth:`BDD.symmetry_groups` of ``roots``."""
+    mgr.sift_groups(roots, groups=groups, max_growth=max_growth)
+    return mgr, list(roots)
+
+
+def symmetry_groups(mgr: BDD, roots: int | Sequence[int]) -> list[list[str]]:
+    """Module-level alias of :meth:`BDD.symmetry_groups`."""
+    return mgr.symmetry_groups(roots)
 
 
 def sift_rebuild(
@@ -132,10 +173,15 @@ def _occurrence_counts(mgr: BDD, roots: list[int]) -> dict[str, int]:
 
 __all__ = [
     "DEFAULT_MAX_GROWTH",
+    "DEFAULT_MAX_PASSES",
     "DEFAULT_MAX_SIFT_NODES",
     "DEFAULT_MAX_SIFT_VARS",
+    "DEFAULT_REORDER_THRESHOLD",
     "SiftResult",
     "reorder",
     "sift",
+    "sift_converge",
+    "sift_groups",
     "sift_rebuild",
+    "symmetry_groups",
 ]

@@ -32,7 +32,7 @@ from ..api import (
 from ..bdd.manager import CACHE_POLICIES, DEFAULT_CACHE_CAPACITY
 from ..benchgen import BENCHMARKS
 from ..benchgen.registry import benchmark_keys
-from ..flows import BATCH_FLOWS, FLOWS, BatchConfig, run_batch
+from ..flows import BATCH_FLOWS, FLOWS, REORDER_POLICIES, BatchConfig, run_batch
 from ..network import to_blif
 from .figures import figure1, figure2, figure3
 from .table1 import format_table1, run_table1
@@ -49,6 +49,18 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type for options where 0 is meaningful (``--event-cap``
+    0 = unlimited, ``--max-finished-jobs`` 0 = retain none)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -135,6 +147,14 @@ def main(argv: list[str] | None = None) -> int:
         help="BDD operation-cache entries per manager (>= 1; the "
         "default keeps the published counters)",
     )
+    batch.add_argument(
+        "--reorder",
+        choices=list(REORDER_POLICIES),
+        default="once",
+        help="BDS variable-reordering policy: once (published single "
+        "pass, the default), converge (sift to a fixpoint), dynamic "
+        "(growth-triggered sifting during BDD construction), none",
+    )
     batch.add_argument("--format", choices=["json", "csv"], default="json")
     batch.add_argument("--output", help="write the report to a file (default: stdout)")
     batch.add_argument(
@@ -154,6 +174,24 @@ def main(argv: list[str] | None = None) -> int:
         default=2,
         help="jobs synthesized concurrently (>= 1); each job may also "
         "request its own worker processes",
+    )
+    serve.add_argument(
+        "--event-cap",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="wire events retained per finished job (default: 256; "
+        "0 = unlimited; the /jobs/<id>/events stream reports any "
+        "truncation explicitly)",
+    )
+    serve.add_argument(
+        "--max-finished-jobs",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="finished jobs retained before the oldest expire "
+        "(default: unlimited; 0 = drop every finished job on the "
+        "next submission)",
     )
 
     sub.add_parser("list", help="list available benchmarks")
@@ -252,6 +290,7 @@ def main(argv: list[str] | None = None) -> int:
             verify=args.verify,
             cache_policy=args.cache_policy,
             cache_capacity=args.cache_capacity,
+            reorder=args.reorder,
         )
         report = run_batch(items, config, progress=_progress)
         if args.format == "csv":
@@ -273,13 +312,19 @@ def main(argv: list[str] | None = None) -> int:
         if report.failed_circuits:
             return 1
     elif args.command == "serve":
-        from ..serve import run_server
+        from ..serve import DEFAULT_EVENT_CAP, run_server
 
+        if args.event_cap is None:
+            event_cap = DEFAULT_EVENT_CAP
+        else:
+            event_cap = args.event_cap or None  # 0 = unlimited
         return run_server(
             host=args.host,
             port=args.port,
             concurrency=args.concurrency,
             echo=_progress,
+            event_cap=event_cap,
+            max_finished_jobs=args.max_finished_jobs,
         )
     elif args.command == "list":
         for key, benchmark in BENCHMARKS.items():

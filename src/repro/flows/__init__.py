@@ -27,7 +27,15 @@ from .batch import (
     run_batch,
     synthesize_one,
 )
-from .bds import BdsFlowConfig, BdsTrace, bds_optimize, bdsmaj_flow, bdspga_flow
+from .bds import (
+    REORDER_POLICIES,
+    BdsFlowConfig,
+    BdsTrace,
+    bds_optimize,
+    bdsmaj_flow,
+    bdspga_flow,
+    normalize_reorder_policy,
+)
 from .common import FlowResult, Stopwatch, finish_flow, map_and_analyze, verify_or_raise
 from .dc import DcFlowConfig, dc_flow, dc_optimize
 
@@ -45,6 +53,7 @@ FLOWS = {
 __all__ = [
     "BATCH_FLOWS",
     "FLOWS",
+    "REORDER_POLICIES",
     "AbcFlowConfig",
     "BatchCancelled",
     "BatchConfig",
@@ -64,6 +73,7 @@ __all__ = [
     "dc_optimize",
     "finish_flow",
     "map_and_analyze",
+    "normalize_reorder_policy",
     "run_batch",
     "synthesize_one",
     "verify_or_raise",

@@ -69,6 +69,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 from ..bdd.manager import CACHE_POLICIES, DEFAULT_CACHE_CAPACITY, combine_cache_stats
 from ..benchgen import build_benchmark
 from ..network import check_equivalence
+from .bds import REORDER_POLICIES
 
 if TYPE_CHECKING:  # pragma: no cover - hints only (runtime import is lazy)
     from ..api import InputItem, InputSource, StageEvent
@@ -129,6 +130,12 @@ class BatchConfig:
     #: BDD operation-cache capacity per manager (entries, not bytes).
     #: The default keeps every published counter unchanged.
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    #: Variable-reordering policy of the BDS flows
+    #: ("none" | "once" | "converge" | "dynamic"); the "once" default is
+    #: the published single-pass behavior and keeps every report
+    #: byte-identical.  Ignored by the abc/dc flows, which do not
+    #: reorder.
+    reorder: str = "once"
 
     def __post_init__(self) -> None:
         if self.flow not in BATCH_FLOWS:
@@ -142,6 +149,11 @@ class BatchConfig:
             )
         if self.cache_capacity < 1:
             raise ValueError("cache capacity must be >= 1")
+        if self.reorder not in REORDER_POLICIES:
+            raise ValueError(
+                f"unknown reorder policy {self.reorder!r} "
+                f"(known: {REORDER_POLICIES})"
+            )
 
 
 @dataclass
@@ -284,7 +296,9 @@ def _flow_config(config: BatchConfig):
 
     if config.flow in ("bds-maj", "bds-pga"):
         flow_config = BdsFlowConfig(
-            enable_majority=(config.flow == "bds-maj"), verify=False
+            enable_majority=(config.flow == "bds-maj"),
+            verify=False,
+            reorder=config.reorder,
         )
     elif config.flow == "abc":
         return AbcFlowConfig(verify=False)

@@ -12,6 +12,7 @@ decomposition disabled — exactly the comparison Table I draws.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..bdd.manager import combine_cache_stats
@@ -20,6 +21,64 @@ from ..core.emit import network_from_trees
 from ..mapping.library import CellLibrary
 from ..network import LogicNetwork, PartitionConfig, partition_with_bdds
 from .common import FlowResult
+
+#: Variable-reordering policies of the BDS flows (Section IV.B and the
+#: dynamic-reordering subsystem on top of it):
+#:
+#: * ``"none"``    — no reordering at all (the ablation baseline);
+#: * ``"once"``    — one in-place sifting pass per supernode between
+#:   construction and decomposition (the published default);
+#: * ``"converge"``— sifting passes repeated to a fixpoint
+#:   (:meth:`BDD.sift_converge`);
+#: * ``"dynamic"`` — growth-triggered sifting *during* BDD construction
+#:   (CUDD-style doubling threshold) rescuing builds that would blow
+#:   the node budget, plus the standard single pass before
+#:   decomposition.
+REORDER_POLICIES = ("none", "once", "converge", "dynamic")
+
+
+def normalize_reorder_policy(value: object) -> str:
+    """Coerce a reorder knob to a policy name.
+
+    Booleans keep their historical meaning (``True`` → ``"once"``,
+    ``False`` → ``"none"``) so pre-policy configs and the registered
+    ``bds-maj-nosift`` ablation keep working unchanged.
+    """
+    if value is True:
+        return "once"
+    if value is False or value is None:
+        return "none"
+    if value not in REORDER_POLICIES:
+        raise ValueError(
+            f"unknown reorder policy {value!r} (known: {REORDER_POLICIES})"
+        )
+    return str(value)
+
+
+def partition_config_for(
+    partition: PartitionConfig, policy: str
+) -> PartitionConfig:
+    """The partition config a policy implies: ``dynamic`` arms
+    construction-time reordering (on a copy — caller configs are never
+    mutated); every other policy uses the config as given."""
+    if policy == "dynamic" and not partition.dynamic_reorder:
+        return dataclasses.replace(partition, dynamic_reorder=True)
+    return partition
+
+
+def reorder_supernode(mgr, root: int, policy: str):
+    """The per-supernode reordering step a policy implies, shared by
+    :func:`bds_optimize` and the pipeline's ``reorder`` stage so the
+    two paths can never diverge.  Returns the
+    :class:`~repro.bdd.SiftResult`, or ``None`` when the policy skips
+    reordering.  ``"converge"`` repeats passes to a fixpoint; ``"once"``
+    and ``"dynamic"`` run a single pass (dynamic already reordered
+    during construction)."""
+    if policy == "none":
+        return None
+    if policy == "converge":
+        return mgr.sift_converge([root])
+    return mgr.sift([root])
 
 
 @dataclass
@@ -31,15 +90,17 @@ class BdsFlowConfig:
         default_factory=lambda: PartitionConfig(max_support=10, max_bdd_nodes=220)
     )
     engine: EngineConfig = field(default_factory=EngineConfig)
-    #: Variable reordering before decomposition (Section IV.B).  The
-    #: in-place sifting engine is cheap enough to run on *every*
-    #: supernode — there are no size guards anymore.
-    reorder: bool = True
+    #: Variable-reordering policy (one of :data:`REORDER_POLICIES`;
+    #: booleans are accepted for compatibility: ``True`` = ``"once"``,
+    #: ``False`` = ``"none"``).  The in-place sifting engine is cheap
+    #: enough to run on *every* supernode — there are no size guards.
+    reorder: bool | str = True
     verify: bool = True
     library: CellLibrary | None = None
 
     def __post_init__(self) -> None:
         self.engine.enable_majority = self.enable_majority
+        self.reorder = normalize_reorder_policy(self.reorder)
 
 
 @dataclass
@@ -48,6 +109,10 @@ class BdsTrace:
 
     supernodes: int = 0
     sifted: int = 0
+    #: Growth-triggered reorders performed *during* BDD construction
+    #: (``reorder="dynamic"`` only; not part of the serialized reports,
+    #: whose schema the default policy keeps byte-identical).
+    reorderings: int = 0
     majority_steps: int = 0
     and_or_steps: int = 0
     xor_steps: int = 0
@@ -99,14 +164,19 @@ def bds_optimize(
     trace = BdsTrace()
     roots: dict[str, int] = {}
 
-    for supernode, mgr, root in partition_with_bdds(network, config.partition):
+    policy = normalize_reorder_policy(config.reorder)
+    partitions = partition_with_bdds(
+        network, partition_config_for(config.partition, policy)
+    )
+    for supernode, mgr, root in partitions:
         trace.supernodes += 1
-        if config.reorder:
-            # In-place sifting: the manager and the root edge survive
-            # (so do its cache counters, which the engine snapshot
-            # below reports cumulatively).
-            if mgr.sift([root]).changed:
-                trace.sifted += 1
+        trace.reorderings += mgr.reorderings
+        # In-place sifting: the manager and the root edge survive (so
+        # do its cache counters, which the engine snapshot below
+        # reports cumulatively).
+        result = reorder_supernode(mgr, root, policy)
+        if result is not None and result.changed:
+            trace.sifted += 1
         engine = DecompositionEngine(mgr, builder, config.engine)
         roots[supernode.output] = engine.decompose(root)
         trace.add_cache_stats(engine.cache_report())

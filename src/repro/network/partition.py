@@ -51,6 +51,15 @@ class PartitionConfig:
     #: Capacity (entries) of every local BDD manager's operation cache;
     #: the default keeps the published counters unchanged.
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    #: Growth-triggered reordering *during* local-BDD construction
+    #: (``reorder="dynamic"`` at the flow/batch layer): clusters whose
+    #: construction-order BDD overflows ``max_bdd_nodes`` are sifted
+    #: mid-build instead of demoted, so cones that fit the budget under
+    #: a better order survive as supernodes.
+    dynamic_reorder: bool = False
+    #: Live-node trigger arming the first mid-build sift (``None`` =
+    #: half of ``max_bdd_nodes``; see :meth:`BDD.enable_dynamic_reordering`).
+    reorder_threshold: int | None = None
 
 
 @dataclass
@@ -182,6 +191,8 @@ def build_local_bdd(
         max_nodes=config.max_bdd_nodes,
         cache_policy=config.cache_policy,
         cache_capacity=config.cache_capacity,
+        dynamic_reorder=config.dynamic_reorder,
+        reorder_threshold=config.reorder_threshold,
     )
 
 

@@ -36,6 +36,7 @@ Quickstart::
 
 from .jobs import (
     CANCELLED,
+    DEFAULT_EVENT_CAP,
     DONE,
     ERROR,
     QUEUED,
@@ -58,6 +59,7 @@ from .wire import (
 
 __all__ = [
     "CANCELLED",
+    "DEFAULT_EVENT_CAP",
     "DONE",
     "ERROR",
     "QUEUED",

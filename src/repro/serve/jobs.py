@@ -44,6 +44,13 @@ CANCELLED = "cancelled"
 #: States a job never leaves.
 TERMINAL_STATES = frozenset({DONE, ERROR, CANCELLED})
 
+#: Default cap on wire events retained per *finished* job.  A
+#: long-lived server accumulates per-stage/per-circuit progress lines
+#: for every job it ever ran; once a job is terminal only the tail of
+#: that log is interesting, so the head is dropped (the stream endpoint
+#: reports the truncation explicitly).
+DEFAULT_EVENT_CAP = 256
+
 
 @dataclass(frozen=True)
 class JobRequest:
@@ -61,6 +68,7 @@ class JobRequest:
     verify: bool = False
     cache_policy: str = "fifo"
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    reorder: str = "once"
     priority: int = 0
 
     def batch_config(self) -> BatchConfig:
@@ -72,6 +80,7 @@ class JobRequest:
             verify=self.verify,
             cache_policy=self.cache_policy,
             cache_capacity=self.cache_capacity,
+            reorder=self.reorder,
         )
 
 
@@ -79,7 +88,11 @@ class Job:
     """One queued/running/finished synthesis request."""
 
     def __init__(
-        self, job_id: str, request: JobRequest, items: "Sequence[InputItem]"
+        self,
+        job_id: str,
+        request: JobRequest,
+        items: "Sequence[InputItem]",
+        event_cap: int | None = None,
     ) -> None:
         self.id = job_id
         self.request = request
@@ -87,8 +100,16 @@ class Job:
         self.state = QUEUED
         self.error: str | None = None
         self.report: BatchReport | None = None
-        #: Wire-ready event payloads, append-only, in emission order.
+        #: Retained wire-ready event payloads, in emission order.  While
+        #: the job runs the log is append-only and complete; once it
+        #: reaches a terminal state the head may be dropped down to
+        #: ``event_cap`` entries (:attr:`events_dropped` counts them, so
+        #: ``events_dropped + index`` is an event's stable absolute
+        #: position — the stream endpoint relies on that).
         self.events: list[dict] = []
+        #: Events dropped from the *front* of the log by truncation.
+        self.events_dropped = 0
+        self._event_cap = event_cap
         self._cancel = threading.Event()
         # Event-chain wakeup: every append swaps in a fresh event and
         # sets the old one, so any number of streaming readers can wait
@@ -108,6 +129,22 @@ class Job:
         before draining :attr:`events`, then ``await`` it."""
         return self._changed
 
+    @property
+    def total_events(self) -> int:
+        """Events ever emitted (retained plus truncated)."""
+        return self.events_dropped + len(self.events)
+
+    def _truncate_events(self) -> None:
+        """Drop the head of the event log down to the configured cap
+        (terminal-state jobs only — a running job's log stays complete
+        so a late stream subscriber can replay everything)."""
+        cap = self._event_cap
+        if cap is None or len(self.events) <= cap:
+            return
+        drop = len(self.events) - cap
+        del self.events[:drop]
+        self.events_dropped += drop
+
     def mark_running(self) -> None:
         self.state = RUNNING
         self.add_event({"type": "state", "status": RUNNING})
@@ -124,15 +161,18 @@ class Job:
                 "failed": summary["failed"],
             }
         )
+        self._truncate_events()
 
     def fail(self, error: str) -> None:
         self.error = error
         self.state = ERROR
         self.add_event({"type": "state", "status": ERROR, "error": error})
+        self._truncate_events()
 
     def mark_cancelled(self) -> None:
         self.state = CANCELLED
         self.add_event({"type": "state", "status": CANCELLED})
+        self._truncate_events()
 
     def request_cancel(self) -> bool:
         """Ask the job to stop.
@@ -161,16 +201,50 @@ class Job:
 
 
 class JobStore:
-    """All jobs the service has seen, by id, in submission order."""
+    """All jobs the service has seen, by id, in submission order.
 
-    def __init__(self) -> None:
+    Long-lived servers bound their memory in two ways:
+
+    * ``event_cap`` — every job that reaches a terminal state keeps at
+      most this many wire events (the head of the log is dropped;
+      ``/jobs/<id>/events`` reports the truncation explicitly).
+      ``None`` retains everything.
+    * ``max_finished_jobs`` — at most this many *finished* jobs are
+      retained; submitting a new job expires the oldest finished ones
+      (their ids then answer 404).  Queued/running jobs never expire.
+      ``None`` retains everything.
+    """
+
+    def __init__(
+        self,
+        event_cap: int | None = DEFAULT_EVENT_CAP,
+        max_finished_jobs: int | None = None,
+    ) -> None:
+        if event_cap is not None and event_cap < 1:
+            raise ValueError("event_cap must be >= 1 (or None)")
+        if max_finished_jobs is not None and max_finished_jobs < 0:
+            raise ValueError("max_finished_jobs must be >= 0 (or None)")
         self._jobs: dict[str, Job] = {}
         self._ids = itertools.count(1)
+        self._event_cap = event_cap
+        self._max_finished = max_finished_jobs
 
     def create(self, request: JobRequest, items: "Sequence[InputItem]") -> Job:
-        job = Job(f"job-{next(self._ids):06d}", request, items)
+        job = Job(
+            f"job-{next(self._ids):06d}", request, items, event_cap=self._event_cap
+        )
         self._jobs[job.id] = job
+        self._expire_finished()
         return job
+
+    def _expire_finished(self) -> None:
+        """Evict the oldest finished jobs beyond ``max_finished_jobs``
+        (dict order is submission order, so the scan is oldest-first)."""
+        if self._max_finished is None:
+            return
+        finished = [job for job in self._jobs.values() if job.finished]
+        for job in finished[: max(0, len(finished) - self._max_finished)]:
+            del self._jobs[job.id]
 
     def get(self, job_id: str) -> Job | None:
         return self._jobs.get(job_id)

@@ -40,7 +40,7 @@ from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
 from ..api import InputSourceError, resolve_source
-from .jobs import DONE, Job, JobRequest, JobStore
+from .jobs import DEFAULT_EVENT_CAP, DONE, Job, JobRequest, JobStore
 from .queue import JobQueue
 from .wire import WireError, encode_event_line, encode_json, job_payload, parse_submission
 
@@ -57,8 +57,12 @@ class SynthesisService:
         host: str = "127.0.0.1",
         port: int = 0,
         concurrency: int = 2,
+        event_cap: int | None = DEFAULT_EVENT_CAP,
+        max_finished_jobs: int | None = None,
     ) -> None:
-        self.store = JobStore()
+        self.store = JobStore(
+            event_cap=event_cap, max_finished_jobs=max_finished_jobs
+        )
         self.queue = JobQueue(concurrency=concurrency)
         self._host = host
         self._port = port
@@ -349,18 +353,33 @@ class SynthesisService:
         self, writer: asyncio.StreamWriter, job: Job
     ) -> None:
         """Replay the job's event log, then follow it live until the job
-        reaches a terminal state (NDJSON, one event per line)."""
+        reaches a terminal state (NDJSON, one event per line).
+
+        The cursor is an *absolute* event position: a finished job's
+        log may have been truncated (:class:`~repro.serve.JobStore`
+        ``event_cap``), in which case the dropped head is reported
+        explicitly with one ``{"type": "truncated", "dropped": N}``
+        line instead of being silently skipped.
+        """
         writer.write(self._head(200, "application/x-ndjson", None))
         cursor = 0
         while True:
             # Capture the wakeup *before* draining: an event appended
             # after the drain but before the await still sets it.
             changed = job.change_event()
-            while cursor < len(job.events):
-                writer.write(encode_event_line(job.events[cursor]))
+            base = job.events_dropped
+            if cursor < base:
+                writer.write(
+                    encode_event_line(
+                        {"type": "truncated", "dropped": base - cursor, "job": job.id}
+                    )
+                )
+                cursor = base
+            while cursor < base + len(job.events):
+                writer.write(encode_event_line(job.events[cursor - base]))
                 cursor += 1
             await writer.drain()
-            if cursor < len(job.events):
+            if cursor < job.total_events:
                 # The job appended (possibly its terminal state event)
                 # while drain() was suspended; flush before closing.
                 continue
@@ -370,9 +389,20 @@ class SynthesisService:
 
 
 async def _serve_until_stopped(
-    host: str, port: int, concurrency: int, echo: Callable[[str], None]
+    host: str,
+    port: int,
+    concurrency: int,
+    echo: Callable[[str], None],
+    event_cap: int | None = DEFAULT_EVENT_CAP,
+    max_finished_jobs: int | None = None,
 ) -> None:
-    service = SynthesisService(host=host, port=port, concurrency=concurrency)
+    service = SynthesisService(
+        host=host,
+        port=port,
+        concurrency=concurrency,
+        event_cap=event_cap,
+        max_finished_jobs=max_finished_jobs,
+    )
     bound_host, bound_port = await service.start()
     echo(
         f"bdsmaj serve: listening on http://{bound_host}:{bound_port} "
@@ -394,9 +424,20 @@ def run_server(
     port: int = 8347,
     concurrency: int = 2,
     echo: Callable[[str], None] | None = None,
+    event_cap: int | None = DEFAULT_EVENT_CAP,
+    max_finished_jobs: int | None = None,
 ) -> int:
     """Blocking entry point behind ``bdsmaj serve``."""
     if echo is None:
         echo = lambda message: print(message, file=sys.stderr, flush=True)  # noqa: E731
-    asyncio.run(_serve_until_stopped(host, port, concurrency, echo))
+    asyncio.run(
+        _serve_until_stopped(
+            host,
+            port,
+            concurrency,
+            echo,
+            event_cap=event_cap,
+            max_finished_jobs=max_finished_jobs,
+        )
+    )
     return 0

@@ -89,6 +89,9 @@ def parse_submission(raw: bytes) -> JobRequest:
     cache_policy = payload.get("cache_policy", "fifo")
     if not isinstance(cache_policy, str):
         raise WireError(f"'cache_policy' must be a string, got {cache_policy!r}")
+    reorder = payload.get("reorder", "once")
+    if not isinstance(reorder, str):
+        raise WireError(f"'reorder' must be a string, got {reorder!r}")
     verify = payload.get("verify", False)
     if not isinstance(verify, bool):
         raise WireError(f"'verify' must be a boolean, got {verify!r}")
@@ -100,6 +103,7 @@ def parse_submission(raw: bytes) -> JobRequest:
         verify=verify,
         cache_policy=cache_policy,
         cache_capacity=_int_field(payload, "cache_capacity", DEFAULT_CACHE_CAPACITY),
+        reorder=reorder,
         priority=_int_field(payload, "priority", 0),
     )
     try:
@@ -119,8 +123,10 @@ def job_payload(job: Job) -> dict:
         "circuits": [item.name for item in job.items],
         "priority": job.request.priority,
         "workers": job.request.workers,
+        "reorder": job.request.reorder,
         "cancel_requested": job.cancel_requested(),
-        "events": len(job.events),
+        "events": job.total_events,
+        "events_dropped": job.events_dropped,
         "error": job.error,
         "result_ready": job.report is not None,
     }

@@ -1,0 +1,38 @@
+"""Golden regression: the published batch report for all 10 MCNC
+circuits, pinned byte-for-byte.
+
+``golden_batch_mcnc.json`` was captured from ``bdsmaj batch --category
+mcnc`` before the dynamic-reordering subsystem landed.  The default
+policy (``reorder="once"``) must keep node counts, decomposition steps
+and cache counters **byte-identical** to that capture — the new
+``converge``/``dynamic`` policies are strictly opt-in, and nothing
+published shifts.
+
+If an intentional change moves these numbers, regenerate the golden
+with::
+
+    PYTHONPATH=src python -m repro.experiments.cli batch --category mcnc \
+        --output tests/flows/golden_batch_mcnc.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.benchgen.registry import benchmark_keys
+from repro.flows import BatchConfig, run_batch
+
+GOLDEN = Path(__file__).with_name("golden_batch_mcnc.json")
+
+
+def test_mcnc_batch_report_is_byte_identical_to_golden():
+    report = run_batch(benchmark_keys("mcnc"), BatchConfig())
+    assert report.to_json() == GOLDEN.read_text()
+
+
+def test_golden_covers_all_ten_mcnc_circuits_cleanly():
+    payload = json.loads(GOLDEN.read_text())
+    assert [c["benchmark"] for c in payload["circuits"]] == benchmark_keys("mcnc")
+    assert payload["summary"]["circuits"] == 10
+    assert payload["summary"]["failed"] == 0
