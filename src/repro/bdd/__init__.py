@@ -12,9 +12,19 @@ Public surface:
 * :func:`sift` / :meth:`BDD.sift` — in-place Rudell sifting (per-level
   subtables + adjacent level swaps), with :func:`reorder` /
   :func:`sift_rebuild` as the rebuild-based constructions;
-* :func:`to_dot` — Graphviz export (Figure 1).
+* :func:`to_dot` — Graphviz export (Figure 1);
+* :class:`BddArena` — read-only shared-memory snapshots of the flat
+  node-store arrays, so pool workers copy-on-miss instead of rebuilding
+  (the serving layer's cross-process sharing substrate).
 """
 
+from .arena import (
+    ArenaBinding,
+    ArenaError,
+    BddArena,
+    attach_worker_arena,
+    current_arena,
+)
 from .cofactor import CareSetError, constrain, generalized_cofactor, restrict
 from .dominators import (
     KIND_AND,
@@ -64,9 +74,14 @@ from .substitute import (
 )
 
 __all__ = [
+    "ArenaBinding",
+    "ArenaError",
     "BDD",
     "BDDError",
+    "BddArena",
     "CACHE_POLICIES",
+    "attach_worker_arena",
+    "current_arena",
     "CareSetError",
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_MAX_GROWTH",

@@ -193,6 +193,37 @@ def main(argv: list[str] | None = None) -> int:
         "(default: unlimited; 0 = drop every finished job on the "
         "next submission)",
     )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close connections idle for this long (default: 60; "
+        "0 = never time out)",
+    )
+    serve.add_argument(
+        "--result-cache",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="finished reports cached by content hash, so identical "
+        "resubmissions answer without resynthesis (default: 64; "
+        "0 = disable)",
+    )
+    serve.add_argument(
+        "--arena",
+        default="auto",
+        metavar="CIRCUITS",
+        help="registry circuits snapshotted into the shared-memory BDD "
+        "arena workers verify against: 'auto' (default small MCNC "
+        "set), 'off', or a comma-separated list",
+    )
+    serve.add_argument(
+        "--cold-pools",
+        action="store_true",
+        help="spawn a fresh worker pool per batch instead of keeping "
+        "warm pools parked between jobs",
+    )
 
     sub.add_parser("list", help="list available benchmarks")
 
@@ -312,12 +343,35 @@ def main(argv: list[str] | None = None) -> int:
         if report.failed_circuits:
             return 1
     elif args.command == "serve":
-        from ..serve import DEFAULT_EVENT_CAP, run_server
+        from ..serve import (
+            DEFAULT_ARENA_CIRCUITS,
+            DEFAULT_EVENT_CAP,
+            DEFAULT_IDLE_TIMEOUT,
+            DEFAULT_RESULT_CACHE_SIZE,
+            run_server,
+        )
 
         if args.event_cap is None:
             event_cap = DEFAULT_EVENT_CAP
         else:
             event_cap = args.event_cap or None  # 0 = unlimited
+        if args.idle_timeout is None:
+            idle_timeout = DEFAULT_IDLE_TIMEOUT
+        else:
+            idle_timeout = args.idle_timeout or None  # 0 = no timeout
+        if args.result_cache is None:
+            result_cache_size = DEFAULT_RESULT_CACHE_SIZE
+        else:
+            result_cache_size = args.result_cache or None  # 0 = off
+        arena_spec = args.arena.strip().lower()
+        if arena_spec == "off":
+            arena_circuits = None
+        elif arena_spec == "auto":
+            arena_circuits = DEFAULT_ARENA_CIRCUITS
+        else:
+            arena_circuits = tuple(
+                name.strip() for name in args.arena.split(",") if name.strip()
+            )
         return run_server(
             host=args.host,
             port=args.port,
@@ -325,6 +379,10 @@ def main(argv: list[str] | None = None) -> int:
             echo=_progress,
             event_cap=event_cap,
             max_finished_jobs=args.max_finished_jobs,
+            idle_timeout=idle_timeout,
+            result_cache_size=result_cache_size,
+            warm_pools=not args.cold_pools,
+            arena_circuits=arena_circuits,
         )
     elif args.command == "list":
         for key, benchmark in BENCHMARKS.items():

@@ -23,6 +23,7 @@ from .batch import (
     BatchConfig,
     BatchReport,
     CircuitReport,
+    WarmPoolManager,
     batch_pool,
     run_batch,
     synthesize_one,
@@ -64,6 +65,7 @@ __all__ = [
     "DcFlowConfig",
     "FlowResult",
     "Stopwatch",
+    "WarmPoolManager",
     "abc_flow",
     "batch_pool",
     "bds_optimize",

@@ -66,9 +66,10 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
+from ..bdd.arena import attach_worker_arena, current_arena
 from ..bdd.manager import CACHE_POLICIES, DEFAULT_CACHE_CAPACITY, combine_cache_stats
 from ..benchgen import build_benchmark
-from ..network import check_equivalence
+from ..network import BddSizeExceeded, check_equivalence, global_bdds
 from .bds import REORDER_POLICIES
 
 if TYPE_CHECKING:  # pragma: no cover - hints only (runtime import is lazy)
@@ -319,6 +320,64 @@ def _load_item(item: "InputItem"):
     return item.load()
 
 
+#: Live-node budget for the arena verify manager — generous because the
+#: target accumulates the memoized spec cones of every circuit the
+#: worker has verified so far.
+_ARENA_VERIFY_MAX_NODES = 500_000
+
+# Per-thread arena verify state: (arena, target manager, binding,
+# {root key: spec edge}).  Thread-local because serial serve jobs run on
+# executor threads that would otherwise share one mutable manager; pool
+# workers are single-threaded, so each simply gets one state for life.
+_arena_verify_state = threading.local()
+
+
+def _arena_verified(item: "InputItem", network, optimized) -> bool | None:
+    """Formal equivalence via the shared BDD arena, if it can answer.
+
+    When this process is attached to an arena holding the golden cones
+    of ``item`` (registry circuits only — BLIF bytes can differ from the
+    registry's version of the same name), the spec BDDs are copied out
+    of the arena (copy-on-miss, memoized across circuits) and compared
+    against a global BDD of the optimized network built in the same
+    manager: canonicity makes equivalence an edge comparison.  Returns
+    ``None`` whenever the arena cannot answer — not attached, circuit
+    absent, optimized BDD over budget — so the caller falls back to
+    :func:`~repro.network.check_equivalence`.  Both answers feed the
+    same boolean ``verified`` report field, which is why this shortcut
+    cannot perturb report bytes.
+    """
+    arena = current_arena()
+    if arena is None or item.kind != "registry":
+        return None
+    keys = {output: f"{item.name}/{output}" for output in network.outputs}
+    if any(key not in arena.roots for key in keys.values()):
+        return None
+    state = getattr(_arena_verify_state, "value", None)
+    if state is None or state[0] is not arena:
+        target = arena.manager()
+        state = (arena, target, arena.binding(target), {})
+        _arena_verify_state.value = state
+    _, target, binding, spec_roots = state
+    try:
+        for key in keys.values():
+            spec_roots[key] = binding.copy(key)
+        _, optimized_roots = global_bdds(
+            optimized, mgr=target, max_nodes=_ARENA_VERIFY_MAX_NODES
+        )
+    except BddSizeExceeded:
+        # Too big for the verify budget: drop the optimized scratch
+        # nodes (keep every memoized spec cone) and let simulation-based
+        # checking take over.
+        target.gc(spec_roots.values())
+        return None
+    equivalent = all(
+        optimized_roots[output] == spec_roots[key] for output, key in keys.items()
+    )
+    target.gc(spec_roots.values())
+    return equivalent
+
+
 def synthesize_one(
     item: "str | InputItem",
     config: BatchConfig,
@@ -380,7 +439,9 @@ def synthesize_one(
             }
         verified: bool | None = None
         if config.verify:
-            verified = bool(check_equivalence(network, ctx.optimized).equivalent)
+            verified = _arena_verified(item, network, ctx.optimized)
+            if verified is None:
+                verified = bool(check_equivalence(network, ctx.optimized).equivalent)
         return CircuitReport(
             benchmark=item.name,
             flow=config.flow,
@@ -444,6 +505,155 @@ def _init_pool_worker() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
+def _init_pool_worker_arena(arena_name: str | None) -> None:
+    """Pool initializer for arena-backed workers: restore signal
+    handling, then attach the shared BDD arena (best effort — a failed
+    attach leaves the worker arena-less, not dead)."""
+    _init_pool_worker()
+    attach_worker_arena(arena_name)
+
+
+def _pool_ping() -> bool:
+    """Health-check task a :class:`WarmPoolManager` runs on acquire."""
+    return True
+
+
+class WarmPoolManager:
+    """Reusable worker pools for the serving layer.
+
+    ``batch_pool`` creates and tears down a pool per batch; under a
+    server that is pure overhead — every job pays process spawn plus
+    (with ``spawn``/``forkserver``) a full interpreter import.  A
+    :class:`WarmPoolManager` keeps idle pools parked between jobs:
+
+    * :meth:`acquire` hands out an idle pool of the requested size if
+      one is parked (after a ping health-check; an unresponsive pool is
+      replaced), else spawns a fresh one;
+    * :meth:`release` parks a healthy pool for reuse (bounded per size;
+      overflow pools are closed);
+    * :meth:`discard` destroys a pool whose batch raised — after a
+      ``terminate()`` mid-``imap`` the pool's internal state is
+      undefined, so it is never reused;
+    * :meth:`drain` tears everything down (server shutdown).
+
+    Pools are keyed by worker count, created through :func:`_pool_context`
+    with :func:`_init_pool_worker_arena` so every worker attaches the
+    manager's shared BDD arena (``arena_name=None`` means no arena).
+    Thread-safe: the serving layer calls it from executor threads.
+    """
+
+    def __init__(
+        self,
+        arena_name: str | None = None,
+        max_idle_per_size: int = 2,
+        ping_timeout: float = 10.0,
+    ) -> None:
+        self.arena_name = arena_name
+        self._max_idle_per_size = max_idle_per_size
+        self._ping_timeout = ping_timeout
+        self._lock = threading.Lock()
+        self._idle: dict[int, list[multiprocessing.pool.Pool]] = {}
+        self._sizes: dict[int, int] = {}  # id(pool) -> worker count
+        self._drained = False
+        #: Acquires served from a parked pool.
+        self.warm_acquires = 0
+        #: Acquires that had to spawn a fresh pool.
+        self.cold_acquires = 0
+        #: Parked pools found dead on acquire and replaced.
+        self.respawns = 0
+        #: Pools destroyed after a failed batch.
+        self.discards = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def _spawn(self, processes: int) -> multiprocessing.pool.Pool:
+        pool = _pool_context().Pool(
+            processes=processes,
+            initializer=_init_pool_worker_arena,
+            initargs=(self.arena_name,),
+        )
+        with self._lock:
+            self._sizes[id(pool)] = processes
+        return pool
+
+    def _healthy(self, pool: multiprocessing.pool.Pool) -> bool:
+        try:
+            return bool(pool.apply_async(_pool_ping).get(timeout=self._ping_timeout))
+        except Exception:  # noqa: BLE001 - any failure means "replace it"
+            return False
+
+    def acquire(self, processes: int) -> multiprocessing.pool.Pool:
+        """A ready pool with ``processes`` workers (parked or fresh)."""
+        while True:
+            with self._lock:
+                if self._drained:
+                    raise RuntimeError("WarmPoolManager is drained")
+                parked = self._idle.get(processes)
+                pool = parked.pop() if parked else None
+            if pool is None:
+                with self._lock:
+                    self.cold_acquires += 1
+                return self._spawn(processes)
+            if self._healthy(pool):
+                with self._lock:
+                    self.warm_acquires += 1
+                return pool
+            # A parked pool died (OOM-killed worker, crashed interpreter):
+            # reap it and look for another — or fall through to a spawn.
+            with self._lock:
+                self.respawns += 1
+                self._sizes.pop(id(pool), None)
+            pool.terminate()
+            pool.join()
+
+    def release(self, pool: multiprocessing.pool.Pool) -> None:
+        """Park a pool whose batch completed cleanly."""
+        with self._lock:
+            processes = self._sizes.get(id(pool))
+            park = (
+                not self._drained
+                and processes is not None
+                and len(self._idle.setdefault(processes, [])) < self._max_idle_per_size
+            )
+            if park:
+                self._idle[processes].append(pool)
+            else:
+                self._sizes.pop(id(pool), None)
+        if not park:
+            pool.terminate()
+            pool.join()
+
+    def discard(self, pool: multiprocessing.pool.Pool) -> None:
+        """Destroy a pool whose batch raised; never reuse it."""
+        with self._lock:
+            self.discards += 1
+            self._sizes.pop(id(pool), None)
+        pool.terminate()
+        pool.join()
+
+    def drain(self) -> None:
+        """Tear down every parked pool; further acquires raise."""
+        with self._lock:
+            self._drained = True
+            pools = [pool for parked in self._idle.values() for pool in parked]
+            self._idle.clear()
+            self._sizes.clear()
+        for pool in pools:
+            pool.terminate()
+        for pool in pools:
+            pool.join()
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "warm_acquires": self.warm_acquires,
+                "cold_acquires": self.cold_acquires,
+                "respawns": self.respawns,
+                "discards": self.discards,
+                "idle_pools": sum(len(parked) for parked in self._idle.values()),
+            }
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     """The start method for a new worker pool.
 
@@ -464,13 +674,34 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 @contextlib.contextmanager
-def batch_pool(processes: int) -> "Iterator[multiprocessing.pool.Pool]":
+def batch_pool(
+    processes: int, manager: WarmPoolManager | None = None
+) -> "Iterator[multiprocessing.pool.Pool]":
     """Worker-pool lifecycle shared by :func:`run_batch` and the serving
-    layer: on a clean exit the pool is closed and joined; on *any*
-    exception — including :class:`KeyboardInterrupt` and
-    :class:`BatchCancelled` — it is terminated and joined before the
-    exception propagates, so no orphaned workers survive the batch.
+    layer.
+
+    Without a ``manager`` (the one-shot mode): a fresh pool is created;
+    on a clean exit it is closed and joined; on *any* exception —
+    including :class:`KeyboardInterrupt` and :class:`BatchCancelled` —
+    it is terminated and joined before the exception propagates, so no
+    orphaned workers survive the batch.
+
+    With a :class:`WarmPoolManager` (the serving mode): the pool is
+    acquired from — and on a clean exit released back to — the manager,
+    staying warm for the next batch; on an exception it is discarded
+    (terminated), because a pool torn out of ``imap`` mid-flight is not
+    safe to reuse.
     """
+    if manager is not None:
+        pool = manager.acquire(processes)
+        try:
+            yield pool
+        except BaseException:
+            manager.discard(pool)
+            raise
+        else:
+            manager.release(pool)
+        return
     pool = _pool_context().Pool(processes=processes, initializer=_init_pool_worker)
     try:
         yield pool
@@ -497,6 +728,7 @@ def run_batch(
     *,
     cancel: Callable[[], bool] | None = None,
     stage_progress: "Callable[[str, StageEvent], None] | None" = None,
+    pool: "WarmPoolManager | None" = None,
 ) -> BatchReport:
     """Synthesize every circuit in ``keys``; report in input order.
 
@@ -515,6 +747,12 @@ def run_batch(
     progress for serial batches (worker processes cannot call back
     across the pickle boundary, so parallel batches only report
     per-circuit completions through ``progress``).
+
+    ``pool`` is the warm-serving seam: a caller-owned
+    :class:`WarmPoolManager` whose parked pools are reused instead of
+    spawning a fresh pool per batch.  The report stays byte-identical —
+    ``imap`` ordering and per-circuit determinism do not depend on how
+    the pool was obtained.
     """
     if config is None:
         config = BatchConfig()
@@ -552,10 +790,10 @@ def run_batch(
             report.circuits.append(circuit)
     else:
         jobs = [(item, config) for item in items]
-        with batch_pool(min(config.workers, len(jobs))) as pool:
+        with batch_pool(min(config.workers, len(jobs)), manager=pool) as workers:
             # imap preserves input order, so the report never depends
             # on which worker finishes first.
-            results = pool.imap(_pool_worker, jobs)
+            results = workers.imap(_pool_worker, jobs)
             while True:
                 check_cancel()
                 try:

@@ -15,11 +15,21 @@ The stack, bottom up:
   concurrency, dispatching each job onto an executor thread that runs
   ``run_batch`` (and, for ``workers > 1`` requests, the multiprocessing
   pool underneath it);
+* :mod:`.cache` — :class:`ResultCache` + :func:`submission_key`:
+  content-hash caching of finished reports, so resubmitting identical
+  work answers instantly;
+* :mod:`.metrics` — :class:`ServiceMetrics`: the ``/metrics`` gauges
+  (queue depth, cache hit rate, warm/cold pool counts, per-stage
+  latency);
 * :mod:`.wire` — the JSON wire format: submission validation, status
   payloads, NDJSON progress lines;
 * :mod:`.server` — :class:`SynthesisService`, a stdlib-asyncio HTTP
-  front end with submit/status/result/cancel/events endpoints, plus
-  :func:`run_server`, the blocking ``bdsmaj serve`` entry point.
+  front end with submit/status/result/cancel/events endpoints —
+  hardened with read timeouts and header caps, keeping a
+  :class:`~repro.flows.WarmPoolManager` of reusable worker pools and
+  (optionally) a shared-memory :class:`~repro.bdd.BddArena` those
+  workers attach — plus :func:`run_server`, the blocking ``bdsmaj
+  serve`` entry point.
 
 The invariant that makes the service trustworthy: a finished job's
 ``/result`` is the **byte-identical** ``BatchReport`` serialization
@@ -34,6 +44,7 @@ Quickstart::
     curl localhost:8347/jobs/job-000001/result   # == `bdsmaj batch` bytes
 """
 
+from .cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache, submission_key
 from .jobs import (
     CANCELLED,
     DEFAULT_EVENT_CAP,
@@ -46,8 +57,14 @@ from .jobs import (
     JobRequest,
     JobStore,
 )
+from .metrics import ServiceMetrics
 from .queue import JobQueue
-from .server import SynthesisService, run_server
+from .server import (
+    DEFAULT_ARENA_CIRCUITS,
+    DEFAULT_IDLE_TIMEOUT,
+    SynthesisService,
+    run_server,
+)
 from .wire import (
     SCHEMA,
     WireError,
@@ -59,7 +76,10 @@ from .wire import (
 
 __all__ = [
     "CANCELLED",
+    "DEFAULT_ARENA_CIRCUITS",
     "DEFAULT_EVENT_CAP",
+    "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_RESULT_CACHE_SIZE",
     "DONE",
     "ERROR",
     "QUEUED",
@@ -70,6 +90,8 @@ __all__ = [
     "JobQueue",
     "JobRequest",
     "JobStore",
+    "ResultCache",
+    "ServiceMetrics",
     "SynthesisService",
     "WireError",
     "encode_event_line",
@@ -77,4 +99,5 @@ __all__ = [
     "job_payload",
     "parse_submission",
     "run_server",
+    "submission_key",
 ]

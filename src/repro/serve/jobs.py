@@ -100,6 +100,12 @@ class Job:
         self.state = QUEUED
         self.error: str | None = None
         self.report: BatchReport | None = None
+        #: Content hash of (resolved circuit contents, report-affecting
+        #: config) — the result-cache key; ``None`` if uncacheable.
+        self.cache_key: str | None = None
+        #: True when the report was answered from the result cache
+        #: instead of a fresh synthesis.
+        self.cache_hit = False
         #: Retained wire-ready event payloads, in emission order.  While
         #: the job runs the log is append-only and complete; once it
         #: reaches a terminal state the head may be dropped down to

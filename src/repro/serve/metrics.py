@@ -1,0 +1,79 @@
+"""Operational metrics for the serving layer (the ``/metrics`` payload).
+
+One :class:`ServiceMetrics` instance per :class:`SynthesisService`
+aggregates what an operator watches on a warm server:
+
+* queue pressure — jobs by state (from the store) plus configured
+  concurrency;
+* result-cache effectiveness — hits/misses/entries (from the
+  :class:`~repro.serve.cache.ResultCache`);
+* worker-pool temperature — warm vs cold acquires, respawns, parked
+  pools (from the :class:`~repro.flows.WarmPoolManager`);
+* shared-arena shape — block name, node/root counts (when published);
+* per-stage latency summaries — count/total/min/max seconds per job
+  lifecycle stage (``resolve``, ``queue_wait``, ``run``), recorded by
+  the queue and submit paths.
+
+Latency observations arrive from executor threads as well as the loop
+thread, so the stage table takes a lock; everything else is read-only
+composition over objects with their own thread stories.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class ServiceMetrics:
+    """Mutable counters + a composer for the ``/metrics`` payload."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, dict[str, float]] = {}
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency sample for a lifecycle ``stage``."""
+        with self._lock:
+            entry = self._stages.get(stage)
+            if entry is None:
+                self._stages[stage] = {
+                    "count": 1,
+                    "total_seconds": seconds,
+                    "min_seconds": seconds,
+                    "max_seconds": seconds,
+                }
+                return
+            entry["count"] += 1
+            entry["total_seconds"] += seconds
+            entry["min_seconds"] = min(entry["min_seconds"], seconds)
+            entry["max_seconds"] = max(entry["max_seconds"], seconds)
+
+    def stage_summaries(self) -> dict[str, dict[str, float]]:
+        """Per-stage latency summary with a derived mean."""
+        with self._lock:
+            summaries = {}
+            for stage, entry in sorted(self._stages.items()):
+                summary = dict(entry)
+                summary["mean_seconds"] = entry["total_seconds"] / entry["count"]
+                summaries[stage] = summary
+            return summaries
+
+    def payload(
+        self,
+        *,
+        jobs: dict[str, int],
+        concurrency: int,
+        cache_stats: dict | None = None,
+        pool_stats: dict | None = None,
+        arena_info: dict | None = None,
+    ) -> dict:
+        """The full ``/metrics`` response body (minus the schema tag,
+        which the wire encoder attaches)."""
+        return {
+            "jobs": jobs,
+            "concurrency": concurrency,
+            "result_cache": cache_stats,
+            "worker_pools": pool_stats,
+            "arena": arena_info,
+            "stages": self.stage_summaries(),
+        }

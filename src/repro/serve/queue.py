@@ -26,24 +26,50 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from ..api import StageEvent
 from ..flows.batch import BatchCancelled, BatchReport, run_batch
-from .jobs import QUEUED, Job
+from .jobs import DONE, QUEUED, Job
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..flows.batch import WarmPoolManager
+    from .cache import ResultCache
+    from .metrics import ServiceMetrics
 
 #: Sentinel priority that sorts after every real (int) job priority.
 _SHUTDOWN_PRIORITY = float("inf")
 
 
 class JobQueue:
-    """Dispatch submitted jobs onto a bounded pool of runner tasks."""
+    """Dispatch submitted jobs onto a bounded pool of runner tasks.
 
-    def __init__(self, concurrency: int = 2) -> None:
+    Optional collaborators wire it into the warm-serving stack:
+
+    * ``pool_manager`` — a :class:`~repro.flows.WarmPoolManager` handed
+      to every ``run_batch`` call, so parallel jobs reuse parked worker
+      pools instead of spawning per job (the queue uses it but does not
+      own it: the service drains it at shutdown);
+    * ``result_cache`` — finished ``done`` reports are stored under the
+      job's content hash for the submit path to answer resubmissions;
+    * ``metrics`` — receives ``queue_wait`` and ``run`` latency samples.
+    """
+
+    def __init__(
+        self,
+        concurrency: int = 2,
+        pool_manager: "WarmPoolManager | None" = None,
+        result_cache: "ResultCache | None" = None,
+        metrics: "ServiceMetrics | None" = None,
+    ) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         self.concurrency = concurrency
+        self.pool_manager = pool_manager
+        self.result_cache = result_cache
+        self.metrics = metrics
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._seq = itertools.count()
         self._runners: list[asyncio.Task] = []
@@ -67,7 +93,9 @@ class JobQueue:
         submission order."""
         if self._closing:
             raise RuntimeError("job queue is shutting down")
-        self._queue.put_nowait((job.request.priority, next(self._seq), job))
+        self._queue.put_nowait(
+            (job.request.priority, next(self._seq), job, time.perf_counter())
+        )
 
     async def shutdown(self, jobs: Iterable[Job] = ()) -> None:
         """Cancel ``jobs`` (typically every job in the store), stop the
@@ -76,7 +104,9 @@ class JobQueue:
         for job in jobs:
             job.request_cancel()
         for _ in self._runners:
-            self._queue.put_nowait((_SHUTDOWN_PRIORITY, next(self._seq), None))
+            self._queue.put_nowait(
+                (_SHUTDOWN_PRIORITY, next(self._seq), None, 0.0)
+            )
         if self._runners:
             await asyncio.gather(*self._runners, return_exceptions=True)
             self._runners = []
@@ -87,17 +117,33 @@ class JobQueue:
     async def _run_jobs(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            _priority, _seq, job = await self._queue.get()
+            _priority, _seq, job, enqueued_at = await self._queue.get()
             if job is None:  # shutdown sentinel
                 return
             if job.state != QUEUED:  # cancelled while waiting
                 continue
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "queue_wait", time.perf_counter() - enqueued_at
+                )
             job.mark_running()
+            run_started = time.perf_counter()
             outcome, value = await loop.run_in_executor(
                 self._executor, self._execute, job, loop
             )
+            if self.metrics is not None:
+                self.metrics.observe("run", time.perf_counter() - run_started)
             if outcome == "done":
                 job.finish(value)
+                # Retain only fully-ok reports: a per-circuit error row
+                # *should* be deterministic, but pinning one forever on
+                # the strength of that assumption is a bad trade.
+                if (
+                    self.result_cache is not None
+                    and job.state == DONE
+                    and all(circuit.ok for circuit in value.circuits)
+                ):
+                    self.result_cache.put(job.cache_key, value)
             elif outcome == "cancelled":
                 job.mark_cancelled()
             else:
@@ -122,6 +168,9 @@ class JobQueue:
         def stage_progress(benchmark: str, event: StageEvent) -> None:
             emit(dict(event.to_payload(), type="stage", benchmark=benchmark))
 
+        # Pass ``pool`` only when warm pools are configured so a bare
+        # queue keeps the plain run_batch signature.
+        extra = {} if self.pool_manager is None else {"pool": self.pool_manager}
         try:
             report = run_batch(
                 job.items,
@@ -129,6 +178,7 @@ class JobQueue:
                 progress=circuit_progress,
                 cancel=job.cancel_requested,
                 stage_progress=stage_progress,
+                **extra,
             )
         except BatchCancelled:
             return "cancelled", None

@@ -9,9 +9,18 @@ response; HTTP/1.0 clients must opt in with ``keep-alive``).  The
 events stream is the exception — its end is signalled by closing the
 connection.
 
+The front end is hardened against misbehaving clients: every read off
+the socket is bounded by a configurable idle timeout (a connection
+silent *between* requests is closed quietly; one that stalls *mid*
+request gets a 408), header counts and line lengths are capped (431),
+and ``Content-Length`` must be a plain non-negative ASCII integer.
+
 Endpoints
 ---------
 ``GET  /healthz``           liveness + job tally by state
+``GET  /metrics``           operational gauges: queue depth, result-
+                            cache hit rate, warm/cold pool counts,
+                            shared-arena shape, per-stage latency
 ``POST /jobs``              submit (JSON body, see :mod:`.wire`) → 202
 ``GET  /jobs``              all jobs, submission order
 ``GET  /jobs/<id>``         status payload
@@ -35,18 +44,51 @@ from __future__ import annotations
 import asyncio
 import signal
 import sys
+import time
 from http import HTTPStatus
 from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
 from ..api import InputSourceError, resolve_source
+from ..bdd import BDD
+from ..bdd.arena import BddArena, attach_worker_arena
+from ..benchgen import build_benchmark
+from ..flows.batch import WarmPoolManager
+from ..network import global_bdds
+from .cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache, submission_key
 from .jobs import DEFAULT_EVENT_CAP, DONE, Job, JobRequest, JobStore
+from .metrics import ServiceMetrics
 from .queue import JobQueue
 from .wire import WireError, encode_event_line, encode_json, job_payload, parse_submission
 
 #: Largest accepted request body; a submission is a short JSON object,
 #: so anything bigger is a client bug, not a workload.
 MAX_BODY_BYTES = 1 << 20
+
+#: Most header lines accepted per request; real clients send a handful,
+#: so a flood is an attack (or a badly broken proxy), answered 431.
+MAX_HEADER_LINES = 100
+
+#: Default seconds a connection may sit silent before the server stops
+#: reading (quietly between requests, 408 mid-request).
+DEFAULT_IDLE_TIMEOUT = 60.0
+
+#: Seconds the server keeps draining a connection after its last
+#: response (half-closed) so a client still mid-send sees the response
+#: instead of a connection reset destroying it.
+_LINGER_SECONDS = 1.0
+
+#: Registry circuits the CLI's default arena snapshot covers: the MCNC
+#: benchmarks whose monolithic global BDDs build in well under a second
+#: (measured: alu2 ~16 ms, f51m ~33 ms, misex3 ~190 ms, vda ~230 ms).
+#: The big ones (c6288, dalu, seq, ...) blow any sane node budget, which
+#: is exactly why arena construction skips over-budget circuits instead
+#: of failing the server start.
+DEFAULT_ARENA_CIRCUITS = ("alu2", "f51m", "vda", "misex3")
+
+#: Live-node budget while building the arena snapshot (per the shared
+#: manager, so it bounds the whole snapshot, not one circuit).
+DEFAULT_ARENA_MAX_NODES = 200_000
 
 
 class SynthesisService:
@@ -59,11 +101,38 @@ class SynthesisService:
         concurrency: int = 2,
         event_cap: int | None = DEFAULT_EVENT_CAP,
         max_finished_jobs: int | None = None,
+        idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+        result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
+        warm_pools: bool = True,
+        arena_circuits: "tuple[str, ...] | list[str] | None" = None,
+        arena_max_nodes: int = DEFAULT_ARENA_MAX_NODES,
     ) -> None:
+        """``idle_timeout=None`` disables read timeouts;
+        ``result_cache_size=None``/``0`` disables result caching;
+        ``warm_pools=False`` reverts to a fresh worker pool per batch;
+        ``arena_circuits`` names registry circuits to snapshot into a
+        shared BDD arena at startup (``None`` — the default, and what
+        the test suite uses — skips the snapshot; the CLI passes
+        :data:`DEFAULT_ARENA_CIRCUITS`)."""
         self.store = JobStore(
             event_cap=event_cap, max_finished_jobs=max_finished_jobs
         )
-        self.queue = JobQueue(concurrency=concurrency)
+        self.metrics = ServiceMetrics()
+        self.result_cache = (
+            ResultCache(result_cache_size) if result_cache_size else None
+        )
+        self.pool_manager = WarmPoolManager() if warm_pools else None
+        self.queue = JobQueue(
+            concurrency=concurrency,
+            pool_manager=self.pool_manager,
+            result_cache=self.result_cache,
+            metrics=self.metrics,
+        )
+        self._idle_timeout = idle_timeout
+        self._arena_circuits = tuple(arena_circuits or ())
+        self._arena_max_nodes = arena_max_nodes
+        self._arena: BddArena | None = None
+        self._arena_info: dict | None = None
         self._host = host
         self._port = port
         self._server: asyncio.base_events.Server | None = None
@@ -73,13 +142,67 @@ class SynthesisService:
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Start the runners and the listener; returns the bound
-        ``(host, port)`` (useful with ``port=0``)."""
+        ``(host, port)`` (useful with ``port=0``).
+
+        When ``arena_circuits`` was requested, the shared BDD arena is
+        built first (on a worker thread — BDD construction must not
+        block the loop) so every pool worker ever spawned attaches it.
+        """
+        if self._arena_circuits and self._arena is None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._build_arena)
         self.queue.start()
         self._server = await asyncio.start_server(
             self._handle_client, self._host, self._port
         )
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
+
+    def _build_arena(self) -> None:
+        """Snapshot the requested registry circuits' global BDDs into a
+        shared-memory arena.  Per-circuit failures (unknown name, BDD
+        over budget) skip that circuit; only an empty snapshot skips the
+        arena entirely.  Never raises: a server without an arena is
+        merely colder, not broken."""
+        manager = BDD([])
+        roots: dict[str, int] = {}
+        published: list[str] = []
+        skipped: list[str] = []
+        for name in self._arena_circuits:
+            try:
+                network = build_benchmark(name)
+                manager, edges = global_bdds(
+                    network, mgr=manager, max_nodes=self._arena_max_nodes
+                )
+            except Exception:  # noqa: BLE001 - skip, don't fail the server
+                skipped.append(name)
+                manager.gc(roots.values())  # drop the partial build
+                continue
+            published.append(name)
+            for output, edge in edges.items():
+                roots[f"{name}/{output}"] = edge
+        if not roots:
+            self._arena_info = {"circuits": [], "skipped": skipped}
+            return
+        try:
+            arena = BddArena.publish(manager, roots)
+        except Exception:  # noqa: BLE001 - e.g. /dev/shm unavailable
+            self._arena_info = {"circuits": [], "skipped": list(self._arena_circuits)}
+            return
+        self._arena = arena
+        self._arena_info = {
+            "name": arena.name,
+            "nodes": arena.num_nodes,
+            "roots": len(arena.roots),
+            "circuits": published,
+            "skipped": skipped,
+        }
+        # The service's own serial jobs verify through the same snapshot
+        # (installing the owner view directly — no second mapping)...
+        attach_worker_arena(arena)
+        # ...and every pool worker spawned from here on attaches by name.
+        if self.pool_manager is not None:
+            self.pool_manager.arena_name = arena.name
 
     async def shutdown(self) -> None:
         """Stop accepting, cancel every live job, reap every worker."""
@@ -90,6 +213,16 @@ class SynthesisService:
         # and (on Pythons where wait_closed really waits for handlers)
         # the reverse order would deadlock.
         await self.queue.shutdown(self.store.jobs())
+        if self.pool_manager is not None:
+            # Parked pools hold live worker processes; drain() joins
+            # them, so keep it off the loop thread.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pool_manager.drain
+            )
+        if self._arena is not None:
+            attach_worker_arena(None)  # closes the installed owner view
+            self._arena.unlink()
+            self._arena = None
         if self._server is not None:
             try:
                 await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
@@ -107,21 +240,52 @@ class SynthesisService:
         Callers building a :class:`JobRequest` directly (the HTTP path
         goes through :func:`~repro.serve.parse_submission`, which
         validates) get the knob errors here instead of at run time.
+
+        A submission whose content hash matches a cached finished
+        report is answered immediately: the job is created already
+        ``done``, carrying the cached :class:`~repro.flows.BatchReport`
+        (and ``cached: true`` in its status payload) — no queue trip,
+        no resynthesis.
         """
-        items = self._resolve_items(request)
-        job = self.store.create(request, items)
-        self.queue.submit(job)
-        return job
+        items, key = self._resolve_items_keyed(request)
+        return self._create_job(request, items, key)
 
     async def submit_async(self, request: JobRequest) -> Job:
         """Like :meth:`submit`, but resolves circuit specs on a worker
-        thread: glob expansion walks the filesystem, and a slow walk on
-        the loop thread would freeze every other request."""
+        thread: glob expansion (and cache-key file hashing) walks the
+        filesystem, and a slow walk on the loop thread would freeze
+        every other request."""
         loop = asyncio.get_running_loop()
-        items = await loop.run_in_executor(None, self._resolve_items, request)
+        items, key = await loop.run_in_executor(
+            None, self._resolve_items_keyed, request
+        )
+        return self._create_job(request, items, key)
+
+    def _create_job(self, request: JobRequest, items: list, key: str | None) -> Job:
         job = self.store.create(request, items)
+        job.cache_key = key
+        if self.result_cache is not None:
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                job.cache_hit = True
+                job.finish(cached)
+                return job
         self.queue.submit(job)
         return job
+
+    def _resolve_items_keyed(self, request: JobRequest) -> tuple[list, str | None]:
+        """Resolve circuit specs and (when caching is on) the
+        submission's content-hash key — both touch the filesystem, so
+        the async path runs this whole helper on a worker thread."""
+        start = time.perf_counter()
+        items = self._resolve_items(request)
+        key = (
+            submission_key(items, request.batch_config())
+            if self.result_cache is not None
+            else None
+        )
+        self.metrics.observe("resolve", time.perf_counter() - start)
+        return items, key
 
     def _resolve_items(self, request: JobRequest) -> list:
         try:
@@ -189,6 +353,19 @@ class SynthesisService:
         finally:
             try:
                 await writer.drain()
+                # Lingering close: closing while the peer is still
+                # sending (an over-long line we rejected mid-read, say)
+                # resets the connection and can destroy the response we
+                # just wrote.  Send our FIN first, then briefly drain
+                # whatever the peer had in flight before closing.
+                if writer.can_write_eof():
+                    writer.write_eof()
+                try:
+                    await asyncio.wait_for(
+                        reader.read(MAX_BODY_BYTES), timeout=_LINGER_SECONDS
+                    )
+                except (asyncio.TimeoutError, ValueError):
+                    pass
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, asyncio.IncompleteReadError):
@@ -197,7 +374,24 @@ class SynthesisService:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> tuple[str, str, dict[str, list[str]], bytes, dict[str, str], str] | None:
-        request_line = await reader.readline()
+        """Read and parse one request, defensively.
+
+        Every read is bounded by the configured idle timeout: a client
+        silent before sending a request line is dropped quietly (that
+        is what an idle keep-alive connection looks like), one that
+        stalls *after* starting a request gets a 408.  Oversized lines
+        (``StreamReader``'s limit surfaces as :class:`ValueError`),
+        header floods and malformed ``Content-Length`` values are
+        client errors, not server tracebacks.
+        """
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), self._idle_timeout
+            )
+        except asyncio.TimeoutError:
+            return None  # idle between requests: close without a response
+        except ValueError:
+            raise WireError("request line too long", status=431) from None
         if not request_line.strip():
             return None
         parts = request_line.decode("latin-1").split()
@@ -205,19 +399,44 @@ class SynthesisService:
             raise WireError("malformed request line")
         method, target, version = parts
         headers: dict[str, str] = {}
+        header_lines = 0
         while True:
-            line = await reader.readline()
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), self._idle_timeout
+                )
+            except asyncio.TimeoutError:
+                raise WireError(
+                    "timed out reading request headers", status=408
+                ) from None
+            except ValueError:
+                raise WireError("header line too long", status=431) from None
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_lines += 1
+            if header_lines > MAX_HEADER_LINES:
+                raise WireError("too many header lines", status=431)
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise WireError("bad Content-Length header") from None
+        raw_length = headers.get("content-length", "0").strip()
+        # int() alone would accept "-5", "+5", " 5", "5_0" and unicode
+        # digits; Content-Length is plain ASCII decimal or it is a lie.
+        if not (raw_length.isascii() and raw_length.isdigit()):
+            raise WireError("bad Content-Length header")
+        length = int(raw_length)
         if length > MAX_BODY_BYTES:
             raise WireError("request body too large", status=413)
-        body = await reader.readexactly(length) if length > 0 else b""
+        if length > 0:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), self._idle_timeout
+                )
+            except asyncio.TimeoutError:
+                raise WireError(
+                    "timed out reading request body", status=408
+                ) from None
+        else:
+            body = b""
         url = urlsplit(target)
         return method.upper(), url.path, parse_qs(url.query), body, headers, version
 
@@ -269,6 +488,30 @@ class SynthesisService:
                 writer,
                 200,
                 encode_json({"status": "ok", "jobs": self.store.counts()}),
+                keep_alive=keep_alive,
+            )
+        elif segments == ["metrics"]:
+            self._require(method, "GET")
+            self._write_response(
+                writer,
+                200,
+                encode_json(
+                    self.metrics.payload(
+                        jobs=self.store.counts(),
+                        concurrency=self.queue.concurrency,
+                        cache_stats=(
+                            self.result_cache.stats()
+                            if self.result_cache is not None
+                            else None
+                        ),
+                        pool_stats=(
+                            self.pool_manager.stats()
+                            if self.pool_manager is not None
+                            else None
+                        ),
+                        arena_info=self._arena_info,
+                    )
+                ),
                 keep_alive=keep_alive,
             )
         elif segments == ["jobs"]:
@@ -395,6 +638,10 @@ async def _serve_until_stopped(
     echo: Callable[[str], None],
     event_cap: int | None = DEFAULT_EVENT_CAP,
     max_finished_jobs: int | None = None,
+    idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+    result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
+    warm_pools: bool = True,
+    arena_circuits: "tuple[str, ...] | list[str] | None" = DEFAULT_ARENA_CIRCUITS,
 ) -> None:
     service = SynthesisService(
         host=host,
@@ -402,8 +649,20 @@ async def _serve_until_stopped(
         concurrency=concurrency,
         event_cap=event_cap,
         max_finished_jobs=max_finished_jobs,
+        idle_timeout=idle_timeout,
+        result_cache_size=result_cache_size,
+        warm_pools=warm_pools,
+        arena_circuits=arena_circuits,
     )
     bound_host, bound_port = await service.start()
+    if service._arena_info:  # noqa: SLF001 - own module
+        circuits = service._arena_info.get("circuits") or []  # noqa: SLF001
+        if circuits:
+            echo(
+                "bdsmaj serve: shared BDD arena "
+                f"{service._arena_info['nodes']} nodes over "  # noqa: SLF001
+                f"{', '.join(circuits)}"
+            )
     echo(
         f"bdsmaj serve: listening on http://{bound_host}:{bound_port} "
         f"({concurrency} concurrent jobs); Ctrl-C to stop"
@@ -426,6 +685,10 @@ def run_server(
     echo: Callable[[str], None] | None = None,
     event_cap: int | None = DEFAULT_EVENT_CAP,
     max_finished_jobs: int | None = None,
+    idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+    result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
+    warm_pools: bool = True,
+    arena_circuits: "tuple[str, ...] | list[str] | None" = DEFAULT_ARENA_CIRCUITS,
 ) -> int:
     """Blocking entry point behind ``bdsmaj serve``."""
     if echo is None:
@@ -438,6 +701,10 @@ def run_server(
             echo,
             event_cap=event_cap,
             max_finished_jobs=max_finished_jobs,
+            idle_timeout=idle_timeout,
+            result_cache_size=result_cache_size,
+            warm_pools=warm_pools,
+            arena_circuits=arena_circuits,
         )
     )
     return 0

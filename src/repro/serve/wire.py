@@ -129,6 +129,7 @@ def job_payload(job: Job) -> dict:
         "events_dropped": job.events_dropped,
         "error": job.error,
         "result_ready": job.report is not None,
+        "cached": job.cache_hit,
     }
 
 

@@ -1,0 +1,152 @@
+"""Shared-memory BDD arena: publish/attach round trips, copy-on-miss
+imports, binding validation, and lifecycle hygiene."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD, BddArena
+from repro.bdd.arena import ArenaError, attach_worker_arena, current_arena
+
+
+def _truth(mgr: BDD, edge: int, names: list[str]) -> list[bool]:
+    return [
+        mgr.eval(edge, dict(zip(names, bits)))
+        for bits in itertools.product((0, 1), repeat=len(names))
+    ]
+
+
+def _sample_manager() -> tuple[BDD, dict[str, int]]:
+    mgr = BDD(["a", "b", "c"])
+    a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+    return mgr, {
+        "f": mgr.and_(a, mgr.or_(b, c)),
+        "g": mgr.xor(a, mgr.xor(b, c)),
+    }
+
+
+class TestRoundTrip:
+    def test_published_cones_rebuild_identically(self):
+        source, roots = _sample_manager()
+        arena = BddArena.publish(source, roots)
+        try:
+            attached = BddArena.attach(arena.name)
+            try:
+                assert attached.keys() == ["f", "g"]
+                assert "f" in attached and "missing" not in attached
+                target = attached.manager()
+                binding = attached.binding(target)
+                names = list(source.var_names)
+                for key, edge in roots.items():
+                    rebuilt = binding.copy(key)
+                    assert _truth(target, rebuilt, names) == _truth(
+                        source, edge, names
+                    )
+                target.check_invariants()
+            finally:
+                attached.close()
+        finally:
+            arena.unlink()
+
+    def test_import_memo_hits_and_bypasses_op_cache(self):
+        source, roots = _sample_manager()
+        arena = BddArena.publish(source, roots)
+        try:
+            target = arena.manager()
+            binding = arena.binding(target)
+            first = binding.copy("f")
+            assert binding.misses == 1 and binding.hits == 0
+            imported = binding.imported_nodes()
+            # Copying the same cone again touches only the memo.
+            assert binding.copy("f") == first
+            assert binding.hits == 1
+            assert binding.imported_nodes() == imported
+            # The copy path goes through _mk only: synthesis-visible
+            # op-cache counters must stay untouched (the byte-identity
+            # contract of served reports depends on this).
+            stats = target.cache_stats()
+            assert stats["hits"] == 0 and stats["misses"] == 0
+        finally:
+            arena.unlink()
+
+    def test_copy_into_manager_with_interleaved_extra_vars(self):
+        source, roots = _sample_manager()
+        arena = BddArena.publish(source, roots)
+        try:
+            target = BDD(["a", "x", "b", "c", "y"])
+            binding = arena.binding(target)
+            names = list(source.var_names)
+            for key, edge in roots.items():
+                assert _truth(target, binding.copy(key), names) == _truth(
+                    source, edge, names
+                )
+        finally:
+            arena.unlink()
+
+
+class TestValidation:
+    def test_binding_rejects_reordered_target(self):
+        source, roots = _sample_manager()
+        arena = BddArena.publish(source, roots)
+        try:
+            with pytest.raises(ArenaError, match="order incompatible"):
+                arena.binding(BDD(["c", "b", "a"]))
+        finally:
+            arena.unlink()
+
+    def test_unknown_root_key_raises(self):
+        source, roots = _sample_manager()
+        arena = BddArena.publish(source, roots)
+        try:
+            binding = arena.binding(arena.manager())
+            with pytest.raises(ArenaError, match="no root"):
+                binding.copy("nope")
+        finally:
+            arena.unlink()
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(Exception):
+            BddArena.attach("bdsmaj-test-no-such-arena")
+
+
+class TestWorkerAttachment:
+    def test_attach_failure_degrades_to_none(self):
+        attach_worker_arena("bdsmaj-test-no-such-arena")
+        assert current_arena() is None
+
+    def test_attach_detach_cycle(self):
+        source, roots = _sample_manager()
+        arena = BddArena.publish(source, roots)
+        try:
+            attach_worker_arena(arena.name)
+            assert current_arena() is not None
+            assert current_arena().keys() == ["f", "g"]
+        finally:
+            attach_worker_arena(None)
+            assert current_arena() is None
+            arena.unlink()
+
+    def test_owner_view_can_be_installed_directly(self):
+        source, roots = _sample_manager()
+        arena = BddArena.publish(source, roots)
+        try:
+            attach_worker_arena(arena)
+            assert current_arena() is arena
+        finally:
+            attach_worker_arena(None)
+            # Detach closed the owner view; unlink must still succeed.
+            arena.unlink()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_unlink_destroys(self):
+        source, roots = _sample_manager()
+        arena = BddArena.publish(source, roots)
+        name = arena.name
+        arena.close()
+        arena.close()
+        arena.unlink()
+        with pytest.raises(Exception):
+            BddArena.attach(name)

@@ -21,13 +21,27 @@ import json
 from pathlib import Path
 
 from repro.benchgen.registry import benchmark_keys
-from repro.flows import BatchConfig, run_batch
+from repro.flows import BatchConfig, WarmPoolManager, run_batch
 
 GOLDEN = Path(__file__).with_name("golden_batch_mcnc.json")
 
 
 def test_mcnc_batch_report_is_byte_identical_to_golden():
     report = run_batch(benchmark_keys("mcnc"), BatchConfig())
+    assert report.to_json() == GOLDEN.read_text()
+
+
+def test_warm_pool_mcnc_batch_matches_golden():
+    """The warm-serving path (reused worker pools, 4 workers) must pin
+    to the very same golden bytes as the cold serial run — parked pools
+    change latency, never the report."""
+    manager = WarmPoolManager()
+    try:
+        report = run_batch(
+            benchmark_keys("mcnc"), BatchConfig(workers=4), pool=manager
+        )
+    finally:
+        manager.drain()
     assert report.to_json() == GOLDEN.read_text()
 
 
