@@ -7,19 +7,25 @@ asserts the service's determinism contract: the serialized report must
 be byte-identical regardless of worker count.
 
 Run standalone (``python benchmarks/bench_batch.py [--quick]``) to
-measure the warm-serving fast paths instead: cold pool spawn-per-batch
-versus a reused :class:`~repro.flows.WarmPoolManager` pool, plus the
+measure the serving fast paths instead: cold pool spawn-per-batch
+versus a reused :class:`~repro.flows.WarmPoolManager` pool, the
 content-hash result-cache lookup that answers an identical
-resubmission without synthesizing at all.  Results land in
+resubmission without synthesizing at all, sharded throughput (the same
+job set through a :class:`~repro.serve.ShardDispatcher` with 1 vs 3
+backends), and journal replay startup (restarting a server on a
+journal holding >= 50 finished jobs).  Results land in
 ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import statistics
+import tempfile
 import time
+from pathlib import Path
 
 import pytest
 
@@ -190,6 +196,153 @@ def bench_warm_serving(
     }
 
 
+async def _http_json(
+    host: str, port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict]:
+    """One ``Connection: close`` request on the bench's own tiny client
+    (blocking clients would stall the dispatcher's event loop)."""
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+                f"Connection: close\r\nContent-Length: {len(payload)}\r\n\r\n"
+            ).encode("latin-1")
+            + payload
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split(None, 2)[1])
+        while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+            pass
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return status, json.loads(raw)
+
+
+async def _poll_done(host: str, port: int, job_id: str) -> dict:
+    while True:
+        _status, payload = await _http_json(host, port, "GET", f"/jobs/{job_id}")
+        if payload["status"] in ("done", "error", "cancelled"):
+            return payload
+        await asyncio.sleep(0.05)
+
+
+def bench_sharded_throughput(
+    circuits: list[str], variants: int = 3
+) -> dict:
+    """Wall-clock for the same job set through the shard dispatcher at
+    1 backend vs 3 — same jobs, same consistent-hash routing, more
+    hardware.  Each circuit is submitted at ``variants`` distinct cache
+    capacities (a report-affecting knob), so every submission is a
+    distinct cache key spreading over the ring; a uniform mix of
+    fast circuits keeps the wall-clock parallelizable instead of
+    dominated by one heavyweight.  The speedup is still bounded by how
+    evenly the hashes land (reported as ``routed``)."""
+    from repro.serve import ShardDispatcher
+
+    submissions = [
+        {"circuits": [key], "cache_capacity": 2000 + variant}
+        for variant in range(variants)
+        for key in circuits
+    ]
+
+    async def one(backends: int) -> dict:
+        dispatcher = ShardDispatcher(
+            backends=backends, port=0, backend_concurrency=1
+        )
+        host, port = await dispatcher.start()
+        try:
+            started = time.perf_counter()
+            ids = []
+            for body in submissions:
+                status, payload = await _http_json(
+                    host, port, "POST", "/jobs", body
+                )
+                assert status == 202, payload
+                ids.append(payload["id"])
+            for job_id in ids:
+                final = await _poll_done(host, port, job_id)
+                assert final["status"] == "done", final
+            elapsed = time.perf_counter() - started
+            _status, metrics = await _http_json(host, port, "GET", "/metrics")
+            routed = [shard["routed"] for shard in metrics["shards"]]
+        finally:
+            await dispatcher.shutdown()
+        return {"backends": backends, "seconds": round(elapsed, 4), "routed": routed}
+
+    rows = [asyncio.run(one(backends)) for backends in (1, 3)]
+    import os
+
+    return {
+        "circuits": list(circuits),
+        "jobs": len(submissions),
+        # The speedup ceiling: backends are processes, so they only run
+        # concurrently when the machine has cores for them.
+        "cpus": os.cpu_count(),
+        "runs": rows,
+        "speedup_3_backends": round(rows[0]["seconds"] / rows[1]["seconds"], 3),
+    }
+
+
+def bench_replay_startup(jobs: int = 50) -> dict:
+    """Startup cost of replaying a journal holding ``jobs`` finished
+    jobs (distinct cache keys, so every one rehydrates its own result-
+    cache entry), spot-checking the byte-identity contract."""
+    from repro.api import InputItem
+    from repro.serve import JobRequest, JobStore, SynthesisService, submission_key
+    from repro.serve.journal import JobJournal
+
+    report = run_batch(["alu2"], BatchConfig(flow="bds-maj"))
+    expected = report.to_json()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "jobs.journal"
+        journal = JobJournal(path, fsync=False)
+        journal.open()
+        store = JobStore(journal=journal)
+        items = [InputItem(name="alu2")]
+        for index in range(jobs):
+            # Distinct cache keys without distinct synthesis runs: the
+            # cache capacity is a report-affecting (hence key-affecting)
+            # knob, so each job rehydrates its own entry on replay.
+            request = JobRequest(circuits=("alu2",), cache_capacity=2000 + index)
+            job = store.create(request, items)
+            job.cache_key = submission_key(items, request.batch_config())
+            job.finish(report)
+        journal.close()
+        journal_bytes = path.stat().st_size
+
+        async def restart() -> tuple[float, int, int, bool]:
+            service = SynthesisService(port=0, journal_path=path)
+            started = time.perf_counter()
+            await service.start()
+            seconds = time.perf_counter() - started
+            replayed = len(service.last_replay.jobs)
+            entries = service.result_cache.stats()["entries"]
+            identical = (
+                service.store.get("job-000001").report.to_json() == expected
+            )
+            await service.shutdown()
+            return seconds, replayed, entries, identical
+
+        seconds, replayed, entries, identical = asyncio.run(restart())
+    assert replayed == jobs and identical
+    return {
+        "jobs": jobs,
+        "journal_bytes": journal_bytes,
+        "replay_seconds": round(seconds, 4),
+        "jobs_per_second": round(jobs / seconds, 1),
+        "rehydrated_cache_entries": entries,
+        "byte_identical": identical,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -223,6 +376,10 @@ def main(argv: list[str] | None = None) -> int:
 
     circuits = [key for key in args.circuits.split(",") if key]
     repeats = 2 if args.quick else args.repeats
+    # Fast, similarly-sized circuits: the sharding win is parallelism
+    # over many uniform jobs, not one heavyweight that serializes.
+    shard_circuits = ["alu2", "f51m", "vda", "misex3"]
+    shard_variants = 2 if args.quick else 3
 
     entry = bench_warm_serving(circuits, args.workers, repeats)
     print(
@@ -231,9 +388,26 @@ def main(argv: list[str] | None = None) -> int:
         f"speedup {entry['warm_speedup']}x  "
         f"cache hit {entry['cache_hit_seconds'] * 1000:.2f}ms"
     )
+    sharded = bench_sharded_throughput(shard_circuits, variants=shard_variants)
+    print(
+        f"sharded   {sharded['runs'][0]['seconds']:8.2f}s @ 1 backend  "
+        f"{sharded['runs'][1]['seconds']:8.2f}s @ 3 backends  "
+        f"speedup {sharded['speedup_3_backends']}x"
+    )
+    replay = bench_replay_startup()
+    print(
+        f"replay    {replay['jobs']} jobs in {replay['replay_seconds'] * 1000:.1f}ms "
+        f"({replay['jobs_per_second']} jobs/s, "
+        f"{replay['rehydrated_cache_entries']} cache entries rehydrated)"
+    )
 
+    results = {
+        "warm_serving": entry,
+        "sharded_throughput": sharded,
+        "replay_startup": replay,
+    }
     with open(args.output, "w") as sink:
-        json.dump(entry, sink, indent=2, sort_keys=True)
+        json.dump(results, sink, indent=2, sort_keys=True)
         sink.write("\n")
     print(f"wrote {args.output}")
     return 0

@@ -10,7 +10,11 @@ Commands mirror the paper's experiments:
   globs of BLIF files (``--files``) with a deterministic JSON/CSV
   report (byte-identical for any worker count);
 * ``serve`` — the async HTTP synthesis service (:mod:`repro.serve`):
-  submit/status/result/cancel endpoints plus streamed progress;
+  submit/status/result/cancel endpoints plus streamed progress,
+  optionally durable (``--journal``) and authenticated
+  (``--auth-token``);
+* ``shard`` — a consistent-hash dispatcher spawning and supervising N
+  ``serve`` backends (:mod:`repro.serve.shard`);
 * ``list`` — available benchmarks.
 
 Circuit arguments resolve through the pluggable input layer of
@@ -224,6 +228,85 @@ def main(argv: list[str] | None = None) -> int:
         help="spawn a fresh worker pool per batch instead of keeping "
         "warm pools parked between jobs",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append-only job journal; on restart finished jobs replay "
+        "byte-identically (rehydrating the result cache) and "
+        "interrupted jobs re-run under their original ids",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="refuse new submissions past this queued backlog with "
+        "429 + Retry-After (default: unlimited; cache hits are exempt)",
+    )
+    serve.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' on every endpoint "
+        "except /healthz (default: $BDSMAJ_AUTH_TOKEN; unset = no auth)",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="consistent-hash dispatcher over N supervised serve backends",
+    )
+    shard.add_argument("--host", default="127.0.0.1")
+    shard.add_argument("--port", type=_port, default=8348)
+    shard.add_argument(
+        "--backends",
+        type=_positive_int,
+        default=3,
+        help="serve subprocesses to spawn and route across (>= 1)",
+    )
+    shard.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for per-backend job journals (backend-<i>.journal); "
+        "respawned backends replay theirs, so crashes lose nothing",
+    )
+    shard.add_argument(
+        "--concurrency",
+        type=_positive_int,
+        default=2,
+        help="jobs synthesized concurrently per backend",
+    )
+    shard.add_argument(
+        "--result-cache",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="per-backend result cache size (default: 64; 0 = disable); "
+        "content routing keeps each key on one shard's cache",
+    )
+    shard.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="per-backend queued-job limit (429 + Retry-After past it)",
+    )
+    shard.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close dispatcher connections idle for this long "
+        "(default: 60; 0 = never time out)",
+    )
+    shard.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="require bearer auth at the dispatcher edge "
+        "(default: $BDSMAJ_AUTH_TOKEN; backends trust loopback)",
+    )
 
     sub.add_parser("list", help="list available benchmarks")
 
@@ -383,6 +466,28 @@ def main(argv: list[str] | None = None) -> int:
             result_cache_size=result_cache_size,
             warm_pools=not args.cold_pools,
             arena_circuits=arena_circuits,
+            journal_path=args.journal,
+            max_pending=args.max_pending,
+            auth_token=args.auth_token,
+        )
+    elif args.command == "shard":
+        from ..serve import DEFAULT_IDLE_TIMEOUT, run_shard
+
+        if args.idle_timeout is None:
+            idle_timeout = DEFAULT_IDLE_TIMEOUT
+        else:
+            idle_timeout = args.idle_timeout or None  # 0 = no timeout
+        return run_shard(
+            host=args.host,
+            port=args.port,
+            backends=args.backends,
+            journal_dir=args.journal_dir,
+            backend_concurrency=args.concurrency,
+            result_cache_size=args.result_cache,
+            max_pending=args.max_pending,
+            idle_timeout=idle_timeout,
+            auth_token=args.auth_token,
+            echo=_progress,
         )
     elif args.command == "list":
         for key, benchmark in BENCHMARKS.items():

@@ -201,6 +201,25 @@ class CircuitReport:
             payload["seconds"] = self.seconds
         return payload
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CircuitReport":
+        """Rebuild a report from its :meth:`to_payload` dict (the job
+        journal's replay path).  Round-trip contract: the rebuilt
+        report's ``to_payload``/``to_json`` bytes equal the original's
+        (timing excluded — wall-clock is nondeterministic and is not
+        journaled)."""
+        return cls(
+            benchmark=payload["benchmark"],
+            flow=payload["flow"],
+            status=payload["status"],
+            node_counts=dict(payload.get("node_counts") or {}),
+            steps=dict(payload.get("steps") or {}),
+            cache=dict(payload.get("cache") or {}),
+            verified=payload.get("verified"),
+            error=payload.get("error"),
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
 
 @dataclass
 class BatchReport:
@@ -286,6 +305,24 @@ class BatchReport:
                 row.append(repr(report.seconds))
             writer.writerow(row)
         return buffer.getvalue()
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BatchReport":
+        """Rebuild a report from its parsed :meth:`to_json` payload.
+
+        The inverse the journal replay path relies on: ``summary`` and
+        every per-circuit ``total_nodes`` are derived fields, so they
+        are recomputed (not trusted), and a rebuilt report re-serializes
+        **byte-identical** to the original ``to_json``/``to_csv`` output
+        (timing fields excluded — they are not journaled)."""
+        return cls(
+            flow=payload["flow"],
+            circuits=[
+                CircuitReport.from_payload(entry)
+                for entry in payload.get("circuits") or []
+            ],
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
 
 
 def _flow_config(config: BatchConfig):

@@ -21,15 +21,26 @@ The stack, bottom up:
 * :mod:`.metrics` — :class:`ServiceMetrics`: the ``/metrics`` gauges
   (queue depth, cache hit rate, warm/cold pool counts, per-stage
   latency);
+* :mod:`.journal` — :class:`JobJournal`: an append-only, CRC-guarded
+  NDJSON journal the store writes through, replayed on startup so a
+  restart (or crash) loses nothing — finished jobs come back
+  byte-identical and interrupted jobs re-run;
 * :mod:`.wire` — the JSON wire format: submission validation, status
   payloads, NDJSON progress lines;
-* :mod:`.server` — :class:`SynthesisService`, a stdlib-asyncio HTTP
-  front end with submit/status/result/cancel/events endpoints —
-  hardened with read timeouts and header caps, keeping a
+* :mod:`.server` — :class:`AsyncHttpServer`, the reusable hardened
+  HTTP/1.1 front end (read timeouts, header caps, keep-alive, bearer
+  auth), and :class:`SynthesisService` on top of it: submit/status/
+  result/cancel/events endpoints, queue backpressure (429 +
+  ``Retry-After`` past ``max_pending``), a
   :class:`~repro.flows.WarmPoolManager` of reusable worker pools and
   (optionally) a shared-memory :class:`~repro.bdd.BddArena` those
   workers attach — plus :func:`run_server`, the blocking ``bdsmaj
-  serve`` entry point.
+  serve`` entry point;
+* :mod:`.shard` — :class:`ShardDispatcher` / :func:`run_shard`: the
+  ``bdsmaj shard`` process, spawning and supervising N ``serve``
+  backends and routing every job to its consistent-hash owner
+  (:class:`HashRing`) by submission content hash, with raw-byte result
+  passthrough and aggregated ``/metrics``.
 
 The invariant that makes the service trustworthy: a finished job's
 ``/result`` is the **byte-identical** ``BatchReport`` serialization
@@ -45,6 +56,13 @@ Quickstart::
 """
 
 from .cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache, submission_key
+from .journal import (
+    DEFAULT_COMPACT_BYTES,
+    JobJournal,
+    JournalError,
+    ReplayedJob,
+    ReplayResult,
+)
 from .jobs import (
     CANCELLED,
     DEFAULT_EVENT_CAP,
@@ -60,11 +78,14 @@ from .jobs import (
 from .metrics import ServiceMetrics
 from .queue import JobQueue
 from .server import (
+    AUTH_TOKEN_ENV,
     DEFAULT_ARENA_CIRCUITS,
     DEFAULT_IDLE_TIMEOUT,
+    AsyncHttpServer,
     SynthesisService,
     run_server,
 )
+from .shard import HashRing, ShardDispatcher, run_shard
 from .wire import (
     SCHEMA,
     WireError,
@@ -75,8 +96,10 @@ from .wire import (
 )
 
 __all__ = [
+    "AUTH_TOKEN_ENV",
     "CANCELLED",
     "DEFAULT_ARENA_CIRCUITS",
+    "DEFAULT_COMPACT_BYTES",
     "DEFAULT_EVENT_CAP",
     "DEFAULT_IDLE_TIMEOUT",
     "DEFAULT_RESULT_CACHE_SIZE",
@@ -86,12 +109,19 @@ __all__ = [
     "RUNNING",
     "SCHEMA",
     "TERMINAL_STATES",
+    "AsyncHttpServer",
+    "HashRing",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobRequest",
     "JobStore",
+    "JournalError",
+    "ReplayResult",
+    "ReplayedJob",
     "ResultCache",
     "ServiceMetrics",
+    "ShardDispatcher",
     "SynthesisService",
     "WireError",
     "encode_event_line",
@@ -99,5 +129,6 @@ __all__ = [
     "job_payload",
     "parse_submission",
     "run_server",
+    "run_shard",
     "submission_key",
 ]

@@ -23,16 +23,16 @@ shared state).
 from __future__ import annotations
 
 import asyncio
-import itertools
 import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..bdd.manager import DEFAULT_CACHE_CAPACITY
 from ..flows.batch import BatchConfig, BatchReport
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from ..api import InputItem
+    from .journal import JobJournal
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -115,6 +115,9 @@ class Job:
         self.events: list[dict] = []
         #: Events dropped from the *front* of the log by truncation.
         self.events_dropped = 0
+        #: Invoked (on the loop thread) the moment the job reaches a
+        #: terminal state — the store's journal write-through hook.
+        self.on_terminal: Callable[[Job], None] | None = None
         self._event_cap = event_cap
         self._cancel = threading.Event()
         # Event-chain wakeup: every append swaps in a fresh event and
@@ -168,17 +171,24 @@ class Job:
             }
         )
         self._truncate_events()
+        self._notify_terminal()
 
     def fail(self, error: str) -> None:
         self.error = error
         self.state = ERROR
         self.add_event({"type": "state", "status": ERROR, "error": error})
         self._truncate_events()
+        self._notify_terminal()
 
     def mark_cancelled(self) -> None:
         self.state = CANCELLED
         self.add_event({"type": "state", "status": CANCELLED})
         self._truncate_events()
+        self._notify_terminal()
+
+    def _notify_terminal(self) -> None:
+        if self.on_terminal is not None:
+            self.on_terminal(self)
 
     def request_cancel(self) -> bool:
         """Ask the job to stop.
@@ -219,29 +229,61 @@ class JobStore:
       retained; submitting a new job expires the oldest finished ones
       (their ids then answer 404).  Queued/running jobs never expire.
       ``None`` retains everything.
+
+    With a ``journal`` the store is durable: every create appends a
+    ``submit`` record, every terminal transition (wherever it happens —
+    queue runner, cancel endpoint, shutdown) appends the matching
+    terminal record via the job's ``on_terminal`` hook, and oversized
+    journals are compacted down to the live jobs.  Replayed jobs enter
+    through :meth:`adopt`, which also keeps the id counter monotonic
+    across restarts.
     """
 
     def __init__(
         self,
         event_cap: int | None = DEFAULT_EVENT_CAP,
         max_finished_jobs: int | None = None,
+        journal: "JobJournal | None" = None,
     ) -> None:
         if event_cap is not None and event_cap < 1:
             raise ValueError("event_cap must be >= 1 (or None)")
         if max_finished_jobs is not None and max_finished_jobs < 0:
             raise ValueError("max_finished_jobs must be >= 0 (or None)")
         self._jobs: dict[str, Job] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._event_cap = event_cap
         self._max_finished = max_finished_jobs
+        self._journal = journal
 
     def create(self, request: JobRequest, items: "Sequence[InputItem]") -> Job:
         job = Job(
-            f"job-{next(self._ids):06d}", request, items, event_cap=self._event_cap
+            f"job-{self._next_id:06d}", request, items, event_cap=self._event_cap
         )
+        self._next_id += 1
         self._jobs[job.id] = job
+        if self._journal is not None:
+            job.on_terminal = self._record_terminal
+            self._journal.record_submit(job)
         self._expire_finished()
         return job
+
+    def adopt(self, job: Job, next_id: int | None = None) -> Job:
+        """Insert a journal-replayed job under its original id (and keep
+        the id counter past it, so new jobs never collide)."""
+        if job.id in self._jobs:
+            raise ValueError(f"job id {job.id!r} already in the store")
+        self._jobs[job.id] = job
+        if next_id is not None:
+            self._next_id = max(self._next_id, next_id)
+        if self._journal is not None:
+            job.on_terminal = self._record_terminal
+        return job
+
+    def _record_terminal(self, job: Job) -> None:
+        """Journal write-through for terminal transitions, triggering
+        compaction once the file outgrows its threshold."""
+        self._journal.record_terminal(job)
+        self._journal.maybe_compact(self.jobs(), self._next_id)
 
     def _expire_finished(self) -> None:
         """Evict the oldest finished jobs beyond ``max_finished_jobs``

@@ -1,0 +1,464 @@
+"""Durable job journal: append-only NDJSON with crash replay.
+
+The serving layer's job store is in-memory by default — a restart loses
+every finished report and evicts every result-cache entry.  With
+``bdsmaj serve --journal PATH`` the :class:`JobStore` writes through a
+:class:`JobJournal`: one fsync'd NDJSON record per state change
+(``submit`` / ``finish`` / ``error`` / ``cancel``), so that on startup
+the server replays the file and
+
+* restores every finished job — its ``/jobs/<id>/result`` bytes are
+  **identical** to what the pre-crash server returned (the journaled
+  report payload round-trips through
+  :meth:`~repro.flows.BatchReport.from_payload`);
+* rehydrates the content-hash :class:`~repro.serve.ResultCache`, so a
+  resubmission of replayed work is a cache hit, not a resynthesis;
+* re-enqueues jobs that were submitted but never finished — a crash
+  mid-batch loses no work, the interrupted jobs simply run again under
+  their original ids.
+
+Record framing
+--------------
+One record per line: ``CRC32<TAB>JSON\\n``, where the CRC is over the
+exact JSON bytes.  A torn final line (the crash happened mid-``write``)
+fails the CRC or framing check and is *tolerated*: replay stops trusting
+the tail, and :meth:`JobJournal.open` truncates the file back to the
+last intact record so subsequent appends cannot corrupt the framing.
+A corrupt line in the *middle* of the file (bit rot) is skipped and
+counted, never silently replayed.
+
+Compaction
+----------
+The journal only ever appends, so a long-lived server accumulates dead
+records (expired jobs, superseded states).  When the file grows past
+``compact_bytes`` (and past twice its size after the previous rewrite,
+so a genuinely large live set does not thrash), the store triggers
+:meth:`JobJournal.compact`: the journal is rewritten to a temp file
+holding only the *live* records — one ``submit`` (+ terminal record)
+per job still in the store, behind a ``meta`` record preserving the id
+counter — fsync'd and atomically renamed over the old file.
+
+Threading: every journal method is called on the event-loop thread
+(job state transitions are loop-thread by the serve layer's threading
+contract), so the class needs no locking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..flows.batch import BatchReport
+from .jobs import CANCELLED, DONE, ERROR, JobRequest
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from .jobs import Job
+
+#: Default file size (bytes) past which an append triggers compaction.
+DEFAULT_COMPACT_BYTES = 4 << 20
+
+#: Journal format tag, checked on replay (a future incompatible format
+#: bumps it; an unknown version refuses to replay rather than guess).
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal file cannot be used (unreadable, wrong version)."""
+
+
+@dataclass
+class ReplayedJob:
+    """One job reconstructed from the journal, ready for adoption."""
+
+    id: str
+    request: JobRequest
+    #: Display names of the resolved items (the journal does not store
+    #: file contents; unfinished jobs re-resolve from the request).
+    item_names: list[str]
+    #: Terminal state (``done`` / ``error`` / ``cancelled``) or ``None``
+    #: for a job that was submitted but never finished — the crash
+    #: interrupted it, and the server re-enqueues it on replay.
+    state: str | None = None
+    report: BatchReport | None = None
+    cache_key: str | None = None
+    error: str | None = None
+
+
+@dataclass
+class ReplayResult:
+    """What :meth:`JobJournal.open` recovered from an existing file."""
+
+    jobs: list[ReplayedJob] = field(default_factory=list)
+    #: Id counter floor: the next created job must number past every
+    #: journaled one, even when compaction dropped the high records.
+    next_id: int = 1
+    #: Intact records read.
+    records: int = 0
+    #: Mid-file lines that failed CRC/framing and were skipped.
+    corrupt_lines: int = 0
+    #: Bytes of torn tail truncated away (0 for a clean file).
+    truncated_bytes: int = 0
+
+
+def _encode_record(record: dict) -> bytes:
+    """One journal line: CRC32 of the canonical JSON, tab, the JSON."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    raw = payload.encode("utf-8")
+    return b"%08x\t" % (zlib.crc32(raw) & 0xFFFFFFFF) + raw + b"\n"
+
+
+def _decode_line(line: bytes) -> dict | None:
+    """Parse one journal line; ``None`` for anything not intact."""
+    if not line.endswith(b"\n"):
+        return None  # torn tail: the final write never completed
+    crc_hex, sep, raw = line[:-1].partition(b"\t")
+    if not sep or len(crc_hex) != 8:
+        return None
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(raw) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _request_payload(request: JobRequest) -> dict:
+    return {
+        "circuits": list(request.circuits),
+        "flow": request.flow,
+        "workers": request.workers,
+        "verify": request.verify,
+        "cache_policy": request.cache_policy,
+        "cache_capacity": request.cache_capacity,
+        "reorder": request.reorder,
+        "priority": request.priority,
+    }
+
+
+def _request_from_payload(payload: dict) -> JobRequest:
+    return JobRequest(
+        circuits=tuple(payload["circuits"]),
+        flow=payload["flow"],
+        workers=payload["workers"],
+        verify=payload["verify"],
+        cache_policy=payload["cache_policy"],
+        cache_capacity=payload["cache_capacity"],
+        reorder=payload["reorder"],
+        priority=payload["priority"],
+    )
+
+
+def _report_payload(report: BatchReport) -> dict:
+    return {
+        "flow": report.flow,
+        "circuits": [circuit.to_payload() for circuit in report.circuits],
+    }
+
+
+class JobJournal:
+    """Append-only NDJSON journal the :class:`~repro.serve.JobStore`
+    writes through.  See the module docstring for the record framing,
+    replay and compaction stories."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        fsync: bool = True,
+        compact_bytes: int = DEFAULT_COMPACT_BYTES,
+    ) -> None:
+        if compact_bytes < 1:
+            raise ValueError("compact_bytes must be >= 1")
+        self.path = Path(path)
+        self._fsync = fsync
+        self._compact_bytes = compact_bytes
+        self._file = None
+        self._bytes = 0
+        self._last_compact_bytes = 0
+        # Ids whose submit/terminal records are already on disk —
+        # replayed jobs re-run their state transitions, and the
+        # write-through hooks must not duplicate their records.
+        self._submitted: set[str] = set()
+        self._terminal: set[str] = set()
+        #: Counters surfaced through ``/metrics``.
+        self.records_written = 0
+        self.compactions = 0
+        self.replayed_jobs = 0
+
+    # ------------------------------------------------------------------
+    # Open + replay
+    # ------------------------------------------------------------------
+    def open(self) -> ReplayResult:
+        """Replay an existing journal (if any) and open for appending.
+
+        Returns what was recovered; raises :class:`JournalError` only
+        for an unusable file (undecodable version record), never for a
+        torn tail — that is the crash case the journal exists for."""
+        result = ReplayResult()
+        good_end = 0
+        raw_records: list[dict] = []
+        if self.path.exists():
+            with open(self.path, "rb") as stream:
+                data = stream.read()
+            offset = 0
+            while offset < len(data):
+                newline = data.find(b"\n", offset)
+                end = len(data) if newline < 0 else newline + 1
+                record = _decode_line(data[offset:end])
+                if record is None:
+                    if end >= len(data):
+                        break  # torn tail: everything past good_end goes
+                    result.corrupt_lines += 1
+                else:
+                    version = record.get("v", JOURNAL_VERSION)
+                    if version != JOURNAL_VERSION:
+                        raise JournalError(
+                            f"journal {self.path} is version {version!r}, "
+                            f"this build reads {JOURNAL_VERSION}"
+                        )
+                    raw_records.append(record)
+                    result.records += 1
+                    good_end = end
+                offset = end
+            result.truncated_bytes = len(data) - good_end
+        self._replay_records(raw_records, result)
+        self.replayed_jobs = len(result.jobs)
+        # Truncate the torn tail *before* appending: new records written
+        # after a partial line would be unreadable on the next replay.
+        self._file = open(self.path, "ab")
+        if result.truncated_bytes:
+            self._file.truncate(good_end)
+        self._bytes = good_end
+        self._last_compact_bytes = good_end
+        return result
+
+    def _replay_records(self, records: list[dict], result: ReplayResult) -> None:
+        jobs: dict[str, ReplayedJob] = {}
+        for record in records:
+            kind = record.get("type")
+            if kind == "meta":
+                result.next_id = max(result.next_id, int(record.get("next_id", 1)))
+                continue
+            job_id = record.get("id")
+            if not isinstance(job_id, str):
+                continue
+            if kind == "submit":
+                try:
+                    request = _request_from_payload(record["request"])
+                except (KeyError, TypeError, ValueError):
+                    continue  # unreadable request: nothing to restore
+                jobs[job_id] = ReplayedJob(
+                    id=job_id,
+                    request=request,
+                    item_names=list(record.get("items") or []),
+                )
+                self._submitted.add(job_id)
+            elif kind == "finish":
+                job = jobs.get(job_id)
+                if job is None:
+                    continue
+                try:
+                    report = BatchReport.from_payload(record["report"])
+                except (KeyError, TypeError, ValueError):
+                    # Unreadable report: the job ran once, but its bytes
+                    # are gone — re-enqueue it instead of serving junk.
+                    continue
+                job.state = DONE
+                job.report = report
+                key = record.get("cache_key")
+                job.cache_key = key if isinstance(key, str) else None
+                self._terminal.add(job_id)
+            elif kind == "error":
+                job = jobs.get(job_id)
+                if job is None:
+                    continue
+                job.state = ERROR
+                job.error = str(record.get("error") or "unknown error")
+                self._terminal.add(job_id)
+            elif kind == "cancel":
+                job = jobs.get(job_id)
+                if job is None:
+                    continue
+                job.state = CANCELLED
+                self._terminal.add(job_id)
+        result.jobs = list(jobs.values())
+        for job in result.jobs:
+            number = _job_number(job.id)
+            if number is not None:
+                result.next_id = max(result.next_id, number + 1)
+
+    # ------------------------------------------------------------------
+    # Write-through
+    # ------------------------------------------------------------------
+    def record_submit(self, job: "Job") -> None:
+        """Journal a new submission (no-op for replayed ids)."""
+        if job.id in self._submitted:
+            return
+        self._submitted.add(job.id)
+        self._append(
+            {
+                "v": JOURNAL_VERSION,
+                "type": "submit",
+                "id": job.id,
+                "request": _request_payload(job.request),
+                "items": [item.name for item in job.items],
+            }
+        )
+
+    def record_terminal(self, job: "Job") -> None:
+        """Journal a job reaching its terminal state (exactly once per
+        id: replayed jobs and double transitions are no-ops)."""
+        if job.id in self._terminal or job.id not in self._submitted:
+            return
+        self._terminal.add(job.id)
+        if job.state == DONE and job.report is not None:
+            record = {
+                "v": JOURNAL_VERSION,
+                "type": "finish",
+                "id": job.id,
+                "cache_key": job.cache_key,
+                "report": _report_payload(job.report),
+            }
+        elif job.state == ERROR:
+            record = {
+                "v": JOURNAL_VERSION,
+                "type": "error",
+                "id": job.id,
+                "error": job.error or "unknown error",
+            }
+        else:
+            record = {"v": JOURNAL_VERSION, "type": "cancel", "id": job.id}
+        self._append(record)
+
+    def _append(self, record: dict) -> None:
+        if self._file is None:
+            raise JournalError("journal is not open")
+        line = _encode_record(record)
+        self._file.write(line)
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        self._bytes += len(line)
+        self.records_written += 1
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def should_compact(self) -> bool:
+        """True when the file outgrew the threshold *and* doubled since
+        the previous rewrite (so a large live set does not thrash)."""
+        return self._bytes >= max(
+            self._compact_bytes, 2 * self._last_compact_bytes
+        )
+
+    def compact(self, jobs: "list[Job]", next_id: int) -> None:
+        """Rewrite the journal to the live records only: a ``meta``
+        record pinning the id counter, then one ``submit`` (plus
+        terminal record, if terminal) per retained job.  Written to a
+        temp file, fsync'd, atomically renamed."""
+        if self._file is None:
+            raise JournalError("journal is not open")
+        temp_path = self.path.with_name(self.path.name + ".compact")
+        with open(temp_path, "wb") as sink:
+            sink.write(
+                _encode_record(
+                    {"v": JOURNAL_VERSION, "type": "meta", "next_id": next_id}
+                )
+            )
+            for job in jobs:
+                sink.write(
+                    _encode_record(
+                        {
+                            "v": JOURNAL_VERSION,
+                            "type": "submit",
+                            "id": job.id,
+                            "request": _request_payload(job.request),
+                            "items": [item.name for item in job.items],
+                        }
+                    )
+                )
+                if job.state == DONE and job.report is not None:
+                    sink.write(
+                        _encode_record(
+                            {
+                                "v": JOURNAL_VERSION,
+                                "type": "finish",
+                                "id": job.id,
+                                "cache_key": job.cache_key,
+                                "report": _report_payload(job.report),
+                            }
+                        )
+                    )
+                elif job.state == ERROR:
+                    sink.write(
+                        _encode_record(
+                            {
+                                "v": JOURNAL_VERSION,
+                                "type": "error",
+                                "id": job.id,
+                                "error": job.error or "unknown error",
+                            }
+                        )
+                    )
+                elif job.state == CANCELLED:
+                    sink.write(
+                        _encode_record(
+                            {"v": JOURNAL_VERSION, "type": "cancel", "id": job.id}
+                        )
+                    )
+            sink.flush()
+            os.fsync(sink.fileno())
+        self._file.close()
+        os.replace(temp_path, self.path)
+        self._file = open(self.path, "ab")
+        self._bytes = self.path.stat().st_size
+        self._last_compact_bytes = self._bytes
+        self.compactions += 1
+        # Only live ids can still receive records; the sets exist to
+        # dedupe, and dead ids never come back (ids are never reused).
+        live = {job.id for job in jobs}
+        self._submitted &= live
+        self._terminal &= live
+
+    def maybe_compact(self, jobs: "list[Job]", next_id: int) -> bool:
+        if not self.should_compact():
+            return False
+        self.compact(jobs, next_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Lifecycle + introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    def stats(self) -> dict:
+        """The ``/metrics`` journal gauge."""
+        return {
+            "path": str(self.path),
+            "bytes": self._bytes,
+            "records_written": self.records_written,
+            "compactions": self.compactions,
+            "replayed_jobs": self.replayed_jobs,
+        }
+
+
+def _job_number(job_id: str) -> int | None:
+    """The numeric suffix of a ``job-NNNNNN`` id (``None`` otherwise)."""
+    prefix, _, suffix = job_id.rpartition("-")
+    if prefix.endswith("job") and suffix.isdigit():
+        return int(suffix)
+    return None

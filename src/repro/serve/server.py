@@ -42,6 +42,8 @@ shutdown (drain nothing, cancel everything, reap all workers).
 from __future__ import annotations
 
 import asyncio
+import hmac
+import os
 import signal
 import sys
 import time
@@ -49,17 +51,21 @@ from http import HTTPStatus
 from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
-from ..api import InputSourceError, resolve_source
+from ..api import InputItem, InputSourceError, resolve_source
 from ..bdd import BDD
 from ..bdd.arena import BddArena, attach_worker_arena
 from ..benchgen import build_benchmark
 from ..flows.batch import WarmPoolManager
 from ..network import global_bdds
 from .cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache, submission_key
-from .jobs import DEFAULT_EVENT_CAP, DONE, Job, JobRequest, JobStore
+from .jobs import DEFAULT_EVENT_CAP, DONE, ERROR, QUEUED, Job, JobRequest, JobStore
+from .journal import DEFAULT_COMPACT_BYTES, JobJournal, ReplayResult
 from .metrics import ServiceMetrics
 from .queue import JobQueue
 from .wire import WireError, encode_event_line, encode_json, job_payload, parse_submission
+
+#: Environment variable consulted when ``--auth-token`` is not given.
+AUTH_TOKEN_ENV = "BDSMAJ_AUTH_TOKEN"
 
 #: Largest accepted request body; a submission is a short JSON object,
 #: so anything bigger is a client bug, not a workload.
@@ -91,218 +97,62 @@ DEFAULT_ARENA_CIRCUITS = ("alu2", "f51m", "vda", "misex3")
 DEFAULT_ARENA_MAX_NODES = 200_000
 
 
-class SynthesisService:
-    """Store + queue + HTTP listener, wired together."""
+class AsyncHttpServer:
+    """The reusable, hardened HTTP/1.1 front end.
+
+    Owns everything between the socket and the route handler: request
+    framing with idle timeouts, header caps, keep-alive semantics, the
+    lingering close, bearer-token auth and the error funnel.  Subclasses
+    implement :meth:`_route`; :class:`SynthesisService` serves jobs with
+    it, :class:`~repro.serve.shard.ShardDispatcher` proxies them.
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 0,
-        concurrency: int = 2,
-        event_cap: int | None = DEFAULT_EVENT_CAP,
-        max_finished_jobs: int | None = None,
         idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
-        result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
-        warm_pools: bool = True,
-        arena_circuits: "tuple[str, ...] | list[str] | None" = None,
-        arena_max_nodes: int = DEFAULT_ARENA_MAX_NODES,
+        auth_token: str | None = None,
     ) -> None:
-        """``idle_timeout=None`` disables read timeouts;
-        ``result_cache_size=None``/``0`` disables result caching;
-        ``warm_pools=False`` reverts to a fresh worker pool per batch;
-        ``arena_circuits`` names registry circuits to snapshot into a
-        shared BDD arena at startup (``None`` — the default, and what
-        the test suite uses — skips the snapshot; the CLI passes
-        :data:`DEFAULT_ARENA_CIRCUITS`)."""
-        self.store = JobStore(
-            event_cap=event_cap, max_finished_jobs=max_finished_jobs
-        )
-        self.metrics = ServiceMetrics()
-        self.result_cache = (
-            ResultCache(result_cache_size) if result_cache_size else None
-        )
-        self.pool_manager = WarmPoolManager() if warm_pools else None
-        self.queue = JobQueue(
-            concurrency=concurrency,
-            pool_manager=self.pool_manager,
-            result_cache=self.result_cache,
-            metrics=self.metrics,
-        )
-        self._idle_timeout = idle_timeout
-        self._arena_circuits = tuple(arena_circuits or ())
-        self._arena_max_nodes = arena_max_nodes
-        self._arena: BddArena | None = None
-        self._arena_info: dict | None = None
         self._host = host
         self._port = port
+        self._idle_timeout = idle_timeout
+        self._auth_token = auth_token
         self._server: asyncio.base_events.Server | None = None
 
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    async def start(self) -> tuple[str, int]:
-        """Start the runners and the listener; returns the bound
-        ``(host, port)`` (useful with ``port=0``).
-
-        When ``arena_circuits`` was requested, the shared BDD arena is
-        built first (on a worker thread — BDD construction must not
-        block the loop) so every pool worker ever spawned attaches it.
-        """
-        if self._arena_circuits and self._arena is None:
-            loop = asyncio.get_running_loop()
-            await loop.run_in_executor(None, self._build_arena)
-        self.queue.start()
+    async def _start_listener(self) -> tuple[str, int]:
+        """Bind and return the actual ``(host, port)`` (with ``port=0``
+        the kernel picks)."""
         self._server = await asyncio.start_server(
             self._handle_client, self._host, self._port
         )
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
-    def _build_arena(self) -> None:
-        """Snapshot the requested registry circuits' global BDDs into a
-        shared-memory arena.  Per-circuit failures (unknown name, BDD
-        over budget) skip that circuit; only an empty snapshot skips the
-        arena entirely.  Never raises: a server without an arena is
-        merely colder, not broken."""
-        manager = BDD([])
-        roots: dict[str, int] = {}
-        published: list[str] = []
-        skipped: list[str] = []
-        for name in self._arena_circuits:
-            try:
-                network = build_benchmark(name)
-                manager, edges = global_bdds(
-                    network, mgr=manager, max_nodes=self._arena_max_nodes
-                )
-            except Exception:  # noqa: BLE001 - skip, don't fail the server
-                skipped.append(name)
-                manager.gc(roots.values())  # drop the partial build
-                continue
-            published.append(name)
-            for output, edge in edges.items():
-                roots[f"{name}/{output}"] = edge
-        if not roots:
-            self._arena_info = {"circuits": [], "skipped": skipped}
+    async def _close_listener(self) -> None:
+        if self._server is None:
             return
         try:
-            arena = BddArena.publish(manager, roots)
-        except Exception:  # noqa: BLE001 - e.g. /dev/shm unavailable
-            self._arena_info = {"circuits": [], "skipped": list(self._arena_circuits)}
-            return
-        self._arena = arena
-        self._arena_info = {
-            "name": arena.name,
-            "nodes": arena.num_nodes,
-            "roots": len(arena.roots),
-            "circuits": published,
-            "skipped": skipped,
-        }
-        # The service's own serial jobs verify through the same snapshot
-        # (installing the owner view directly — no second mapping)...
-        attach_worker_arena(arena)
-        # ...and every pool worker spawned from here on attaches by name.
-        if self.pool_manager is not None:
-            self.pool_manager.arena_name = arena.name
+            await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+        except asyncio.TimeoutError:  # a client holding a dead connection
+            pass
+        self._server = None
 
-    async def shutdown(self) -> None:
-        """Stop accepting, cancel every live job, reap every worker."""
-        if self._server is not None:
-            self._server.close()
-        # Cancel jobs BEFORE waiting on the listener: event-stream
-        # handlers only finish once their job reaches a terminal state,
-        # and (on Pythons where wait_closed really waits for handlers)
-        # the reverse order would deadlock.
-        await self.queue.shutdown(self.store.jobs())
-        if self.pool_manager is not None:
-            # Parked pools hold live worker processes; drain() joins
-            # them, so keep it off the loop thread.
-            await asyncio.get_running_loop().run_in_executor(
-                None, self.pool_manager.drain
-            )
-        if self._arena is not None:
-            attach_worker_arena(None)  # closes the installed owner view
-            self._arena.unlink()
-            self._arena = None
-        if self._server is not None:
-            try:
-                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
-            except asyncio.TimeoutError:  # a client holding a dead connection
-                pass
-            self._server = None
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: dict[str, list[str]],
+        body: bytes,
+        keep_alive: bool = False,
+        headers: dict[str, str] | None = None,
+    ) -> bool:
+        """Dispatch one request; subclass responsibility.  Returns True
+        when the response was a stream whose end is signalled by closing
+        the connection, so the caller must not reuse the socket."""
+        raise NotImplementedError
 
-    # ------------------------------------------------------------------
-    # Submission (also the seam tests drive without HTTP)
-    # ------------------------------------------------------------------
-    def submit(self, request: JobRequest) -> Job:
-        """Resolve the request's circuit specs through the input layer
-        and enqueue a job for them.
-
-        Callers building a :class:`JobRequest` directly (the HTTP path
-        goes through :func:`~repro.serve.parse_submission`, which
-        validates) get the knob errors here instead of at run time.
-
-        A submission whose content hash matches a cached finished
-        report is answered immediately: the job is created already
-        ``done``, carrying the cached :class:`~repro.flows.BatchReport`
-        (and ``cached: true`` in its status payload) — no queue trip,
-        no resynthesis.
-        """
-        items, key = self._resolve_items_keyed(request)
-        return self._create_job(request, items, key)
-
-    async def submit_async(self, request: JobRequest) -> Job:
-        """Like :meth:`submit`, but resolves circuit specs on a worker
-        thread: glob expansion (and cache-key file hashing) walks the
-        filesystem, and a slow walk on the loop thread would freeze
-        every other request."""
-        loop = asyncio.get_running_loop()
-        items, key = await loop.run_in_executor(
-            None, self._resolve_items_keyed, request
-        )
-        return self._create_job(request, items, key)
-
-    def _create_job(self, request: JobRequest, items: list, key: str | None) -> Job:
-        job = self.store.create(request, items)
-        job.cache_key = key
-        if self.result_cache is not None:
-            cached = self.result_cache.get(key)
-            if cached is not None:
-                job.cache_hit = True
-                job.finish(cached)
-                return job
-        self.queue.submit(job)
-        return job
-
-    def _resolve_items_keyed(self, request: JobRequest) -> tuple[list, str | None]:
-        """Resolve circuit specs and (when caching is on) the
-        submission's content-hash key — both touch the filesystem, so
-        the async path runs this whole helper on a worker thread."""
-        start = time.perf_counter()
-        items = self._resolve_items(request)
-        key = (
-            submission_key(items, request.batch_config())
-            if self.result_cache is not None
-            else None
-        )
-        self.metrics.observe("resolve", time.perf_counter() - start)
-        return items, key
-
-    def _resolve_items(self, request: JobRequest) -> list:
-        try:
-            request.batch_config()
-        except ValueError as exc:
-            raise WireError(str(exc)) from None
-        items: list = []
-        try:
-            for spec in request.circuits:
-                items.extend(resolve_source(spec).items())
-        except InputSourceError as exc:
-            raise WireError(str(exc)) from None
-        return items
-
-    # ------------------------------------------------------------------
-    # HTTP plumbing
-    # ------------------------------------------------------------------
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -328,11 +178,14 @@ class SynthesisService:
                     keep_alive = connection != "close"
                 try:
                     streamed = await self._route(
-                        writer, method, path, query, body, keep_alive
+                        writer, method, path, query, body, keep_alive, headers
                     )
                 except WireError as exc:
                     self._write_response(
-                        writer, exc.status, encode_json({"error": str(exc)})
+                        writer,
+                        exc.status,
+                        encode_json({"error": str(exc)}),
+                        extra_headers=exc.headers,
                     )
                     break
                 if streamed or not keep_alive:
@@ -340,7 +193,10 @@ class SynthesisService:
                 await writer.drain()
         except WireError as exc:  # malformed framing: respond and close
             self._write_response(
-                writer, exc.status, encode_json({"error": str(exc)})
+                writer,
+                exc.status,
+                encode_json({"error": str(exc)}),
+                extra_headers=exc.headers,
             )
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request/response
@@ -447,8 +303,12 @@ class SynthesisService:
         body: bytes,
         content_type: str = "application/json",
         keep_alive: bool = False,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
-        writer.write(self._head(status, content_type, len(body), keep_alive) + body)
+        writer.write(
+            self._head(status, content_type, len(body), keep_alive, extra_headers)
+            + body
+        )
 
     def _head(
         self,
@@ -456,15 +316,364 @@ class SynthesisService:
         content_type: str,
         length: int | None,
         keep_alive: bool = False,
+        extra_headers: dict[str, str] | None = None,
     ) -> bytes:
         lines = [
             f"HTTP/1.1 {status} {HTTPStatus(status).phrase}",
             f"Content-Type: {content_type}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
         if length is not None:
             lines.append(f"Content-Length: {length}")
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    def _require(self, method: str, expected: str) -> None:
+        if method != expected:
+            raise WireError(f"use {expected} on this endpoint", status=405)
+
+    def _check_auth(self, headers: dict[str, str]) -> None:
+        """Enforce bearer-token auth when configured (constant-time
+        compare; 401 with ``WWW-Authenticate`` on missing/mismatch)."""
+        if self._auth_token is None:
+            return
+        supplied = headers.get("authorization", "")
+        scheme, _, token = supplied.partition(" ")
+        if scheme.lower() == "bearer" and hmac.compare_digest(
+            token.strip(), self._auth_token
+        ):
+            return
+        raise WireError(
+            "missing or invalid bearer token",
+            status=401,
+            headers={"WWW-Authenticate": "Bearer"},
+        )
+
+
+class SynthesisService(AsyncHttpServer):
+    """Store + queue + HTTP listener, wired together."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        concurrency: int = 2,
+        event_cap: int | None = DEFAULT_EVENT_CAP,
+        max_finished_jobs: int | None = None,
+        idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+        result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
+        warm_pools: bool = True,
+        arena_circuits: "tuple[str, ...] | list[str] | None" = None,
+        arena_max_nodes: int = DEFAULT_ARENA_MAX_NODES,
+        journal_path: "str | os.PathLike | None" = None,
+        journal_fsync: bool = True,
+        journal_compact_bytes: int = DEFAULT_COMPACT_BYTES,
+        max_pending: int | None = None,
+        auth_token: str | None = None,
+    ) -> None:
+        """``idle_timeout=None`` disables read timeouts;
+        ``result_cache_size=None``/``0`` disables result caching;
+        ``warm_pools=False`` reverts to a fresh worker pool per batch;
+        ``arena_circuits`` names registry circuits to snapshot into a
+        shared BDD arena at startup (``None`` — the default, and what
+        the test suite uses — skips the snapshot; the CLI passes
+        :data:`DEFAULT_ARENA_CIRCUITS`); ``journal_path`` makes the job
+        store durable (append-only NDJSON, replayed on :meth:`start`);
+        ``max_pending`` bounds the queued-job backlog (overflow answers
+        429 with ``Retry-After``); ``auth_token`` requires ``Bearer``
+        auth on every endpoint except ``/healthz``."""
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
+        self.journal = (
+            JobJournal(
+                journal_path,
+                fsync=journal_fsync,
+                compact_bytes=journal_compact_bytes,
+            )
+            if journal_path is not None
+            else None
+        )
+        self.store = JobStore(
+            event_cap=event_cap,
+            max_finished_jobs=max_finished_jobs,
+            journal=self.journal,
+        )
+        self.metrics = ServiceMetrics()
+        self.result_cache = (
+            ResultCache(result_cache_size) if result_cache_size else None
+        )
+        self.pool_manager = WarmPoolManager() if warm_pools else None
+        self.queue = JobQueue(
+            concurrency=concurrency,
+            pool_manager=self.pool_manager,
+            result_cache=self.result_cache,
+            metrics=self.metrics,
+        )
+        super().__init__(
+            host=host, port=port, idle_timeout=idle_timeout, auth_token=auth_token
+        )
+        self._max_pending = max_pending
+        self.last_replay: ReplayResult | None = None
+        self._arena_circuits = tuple(arena_circuits or ())
+        self._arena_max_nodes = arena_max_nodes
+        self._arena: BddArena | None = None
+        self._arena_info: dict | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Start the runners and the listener; returns the bound
+        ``(host, port)`` (useful with ``port=0``).
+
+        When ``arena_circuits`` was requested, the shared BDD arena is
+        built first (on a worker thread — BDD construction must not
+        block the loop) so every pool worker ever spawned attaches it.
+        """
+        if self._arena_circuits and self._arena is None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._build_arena)
+        self.queue.start()
+        if self.journal is not None and self.last_replay is None:
+            self._replay_journal()
+        return await self._start_listener()
+
+    def _replay_journal(self) -> None:
+        """Replay the journal into the store: finished jobs come back
+        with their exact reports (rehydrating the result cache), jobs
+        the crash interrupted are re-enqueued under their original ids.
+        """
+        result = self.journal.open()
+        self.last_replay = result
+        for replayed in result.jobs:
+            if replayed.state is None:
+                # Interrupted mid-run: re-resolve and run it again.
+                try:
+                    items = self._resolve_items(replayed.request)
+                except WireError as exc:
+                    items = [InputItem(name=name) for name in replayed.item_names]
+                    job = Job(replayed.id, replayed.request, items)
+                    self.store.adopt(job, next_id=result.next_id)
+                    job.add_event({"type": "replayed", "resubmitted": False})
+                    job.fail(f"journal replay could not re-resolve inputs: {exc}")
+                    continue
+                job = Job(
+                    replayed.id,
+                    replayed.request,
+                    items,
+                    event_cap=self.store._event_cap,  # noqa: SLF001 - own module
+                )
+                self.store.adopt(job, next_id=result.next_id)
+                job.cache_key = (
+                    submission_key(items, replayed.request.batch_config())
+                    if self.result_cache is not None
+                    else None
+                )
+                # An identical submission may already have been replayed
+                # finished (ids replay in order): answer from the
+                # rehydrated cache instead of synthesizing twice.
+                cached = (
+                    self.result_cache.get(job.cache_key)
+                    if self.result_cache is not None
+                    else None
+                )
+                if cached is not None:
+                    job.cache_hit = True
+                    job.add_event({"type": "replayed", "resubmitted": False})
+                    job.finish(cached)
+                    continue
+                job.add_event({"type": "replayed", "resubmitted": True})
+                self.queue.submit(job)
+                continue
+            items = [InputItem(name=name) for name in replayed.item_names]
+            job = Job(
+                replayed.id,
+                replayed.request,
+                items,
+                event_cap=self.store._event_cap,  # noqa: SLF001 - own module
+            )
+            self.store.adopt(job, next_id=result.next_id)
+            job.cache_key = replayed.cache_key
+            job.add_event({"type": "replayed", "resubmitted": False})
+            if replayed.state == DONE and replayed.report is not None:
+                job.finish(replayed.report)
+                if (
+                    self.result_cache is not None
+                    and replayed.cache_key is not None
+                    and all(circuit.ok for circuit in replayed.report.circuits)
+                ):
+                    self.result_cache.put(replayed.cache_key, replayed.report)
+            elif replayed.state == ERROR:
+                job.fail(replayed.error or "unknown error")
+            else:
+                job.mark_cancelled()
+
+    def _build_arena(self) -> None:
+        """Snapshot the requested registry circuits' global BDDs into a
+        shared-memory arena.  Per-circuit failures (unknown name, BDD
+        over budget) skip that circuit; only an empty snapshot skips the
+        arena entirely.  Never raises: a server without an arena is
+        merely colder, not broken."""
+        manager = BDD([])
+        roots: dict[str, int] = {}
+        published: list[str] = []
+        skipped: list[str] = []
+        for name in self._arena_circuits:
+            try:
+                network = build_benchmark(name)
+                manager, edges = global_bdds(
+                    network, mgr=manager, max_nodes=self._arena_max_nodes
+                )
+            except Exception:  # noqa: BLE001 - skip, don't fail the server
+                skipped.append(name)
+                manager.gc(roots.values())  # drop the partial build
+                continue
+            published.append(name)
+            for output, edge in edges.items():
+                roots[f"{name}/{output}"] = edge
+        if not roots:
+            self._arena_info = {"circuits": [], "skipped": skipped}
+            return
+        try:
+            arena = BddArena.publish(manager, roots)
+        except Exception:  # noqa: BLE001 - e.g. /dev/shm unavailable
+            self._arena_info = {"circuits": [], "skipped": list(self._arena_circuits)}
+            return
+        self._arena = arena
+        self._arena_info = {
+            "name": arena.name,
+            "nodes": arena.num_nodes,
+            "roots": len(arena.roots),
+            "circuits": published,
+            "skipped": skipped,
+        }
+        # The service's own serial jobs verify through the same snapshot
+        # (installing the owner view directly — no second mapping)...
+        attach_worker_arena(arena)
+        # ...and every pool worker spawned from here on attaches by name.
+        if self.pool_manager is not None:
+            self.pool_manager.arena_name = arena.name
+
+    async def shutdown(self) -> None:
+        """Stop accepting, cancel every live job, reap every worker."""
+        if self._server is not None:
+            self._server.close()
+        # Cancel jobs BEFORE waiting on the listener: event-stream
+        # handlers only finish once their job reaches a terminal state,
+        # and (on Pythons where wait_closed really waits for handlers)
+        # the reverse order would deadlock.
+        await self.queue.shutdown(self.store.jobs())
+        if self.pool_manager is not None:
+            # Parked pools hold live worker processes; drain() joins
+            # them, so keep it off the loop thread.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pool_manager.drain
+            )
+        if self._arena is not None:
+            attach_worker_arena(None)  # closes the installed owner view
+            self._arena.unlink()
+            self._arena = None
+        if self.journal is not None:
+            self.journal.close()
+        await self._close_listener()
+
+    # ------------------------------------------------------------------
+    # Submission (also the seam tests drive without HTTP)
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Resolve the request's circuit specs through the input layer
+        and enqueue a job for them.
+
+        Callers building a :class:`JobRequest` directly (the HTTP path
+        goes through :func:`~repro.serve.parse_submission`, which
+        validates) get the knob errors here instead of at run time.
+
+        A submission whose content hash matches a cached finished
+        report is answered immediately: the job is created already
+        ``done``, carrying the cached :class:`~repro.flows.BatchReport`
+        (and ``cached: true`` in its status payload) — no queue trip,
+        no resynthesis.
+        """
+        items, key = self._resolve_items_keyed(request)
+        return self._create_job(request, items, key)
+
+    async def submit_async(self, request: JobRequest) -> Job:
+        """Like :meth:`submit`, but resolves circuit specs on a worker
+        thread: glob expansion (and cache-key file hashing) walks the
+        filesystem, and a slow walk on the loop thread would freeze
+        every other request."""
+        loop = asyncio.get_running_loop()
+        items, key = await loop.run_in_executor(
+            None, self._resolve_items_keyed, request
+        )
+        return self._create_job(request, items, key)
+
+    def _create_job(self, request: JobRequest, items: list, key: str | None) -> Job:
+        cached = self.result_cache.get(key) if self.result_cache is not None else None
+        if cached is not None:
+            # Cache hits bypass the backpressure gate: they consume no
+            # queue slot, so rejecting them would protect nothing.
+            job = self.store.create(request, items)
+            job.cache_key = key
+            job.cache_hit = True
+            job.finish(cached)
+            return job
+        self._check_backpressure()
+        job = self.store.create(request, items)
+        job.cache_key = key
+        self.queue.submit(job)
+        return job
+
+    def _check_backpressure(self) -> None:
+        """Refuse new queue entries past ``max_pending`` with a 429 and
+        a ``Retry-After`` estimated from the observed run latency."""
+        if self._max_pending is None:
+            return
+        pending = sum(1 for job in self.store.jobs() if job.state == QUEUED)
+        if pending < self._max_pending:
+            return
+        raise WireError(
+            f"queue is full ({pending} jobs pending, limit {self._max_pending})",
+            status=429,
+            headers={"Retry-After": str(self._retry_after(pending))},
+        )
+
+    def _retry_after(self, pending: int) -> int:
+        """Seconds until a queue slot plausibly frees: the backlog
+        drained at the observed mean run latency over ``concurrency``
+        lanes, clamped to [1, 300]."""
+        run = self.metrics.stage_summaries().get("run")
+        mean = float(run["mean_seconds"]) if run else 1.0
+        estimate = mean * max(1, pending) / max(1, self.queue.concurrency)
+        return max(1, min(300, int(estimate) + 1))
+
+    def _resolve_items_keyed(self, request: JobRequest) -> tuple[list, str | None]:
+        """Resolve circuit specs and (when caching is on) the
+        submission's content-hash key — both touch the filesystem, so
+        the async path runs this whole helper on a worker thread."""
+        start = time.perf_counter()
+        items = self._resolve_items(request)
+        key = (
+            submission_key(items, request.batch_config())
+            if self.result_cache is not None
+            else None
+        )
+        self.metrics.observe("resolve", time.perf_counter() - start)
+        return items, key
+
+    def _resolve_items(self, request: JobRequest) -> list:
+        try:
+            request.batch_config()
+        except ValueError as exc:
+            raise WireError(str(exc)) from None
+        items: list = []
+        try:
+            for spec in request.circuits:
+                items.extend(resolve_source(spec).items())
+        except InputSourceError as exc:
+            raise WireError(str(exc)) from None
+        return items
 
     # ------------------------------------------------------------------
     # Routing
@@ -477,11 +686,16 @@ class SynthesisService:
         query: dict[str, list[str]],
         body: bytes,
         keep_alive: bool = False,
+        headers: dict[str, str] | None = None,
     ) -> bool:
         """Dispatch one request.  Returns True when the response was a
         stream whose end is signalled by closing the connection (the
         events endpoint), so the caller must not reuse the socket."""
         segments = [part for part in path.split("/") if part]
+        # /healthz stays reachable without credentials: supervisors and
+        # the shard dispatcher probe it to decide whether to respawn.
+        if segments != ["healthz"]:
+            self._check_auth(headers or {})
         if segments == ["healthz"]:
             self._require(method, "GET")
             self._write_response(
@@ -510,6 +724,12 @@ class SynthesisService:
                             else None
                         ),
                         arena_info=self._arena_info,
+                        journal_stats=(
+                            self.journal.stats()
+                            if self.journal is not None
+                            else None
+                        ),
+                        pending_limit=self._max_pending,
                     )
                 ),
                 keep_alive=keep_alive,
@@ -558,10 +778,6 @@ class SynthesisService:
         else:
             raise WireError(f"no such endpoint: {path!r}", status=404)
         return False
-
-    def _require(self, method: str, expected: str) -> None:
-        if method != expected:
-            raise WireError(f"use {expected} on this endpoint", status=405)
 
     def _job(self, job_id: str) -> Job:
         job = self.store.get(job_id)
@@ -642,6 +858,9 @@ async def _serve_until_stopped(
     result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
     warm_pools: bool = True,
     arena_circuits: "tuple[str, ...] | list[str] | None" = DEFAULT_ARENA_CIRCUITS,
+    journal_path: "str | os.PathLike | None" = None,
+    max_pending: int | None = None,
+    auth_token: str | None = None,
 ) -> None:
     service = SynthesisService(
         host=host,
@@ -653,6 +872,9 @@ async def _serve_until_stopped(
         result_cache_size=result_cache_size,
         warm_pools=warm_pools,
         arena_circuits=arena_circuits,
+        journal_path=journal_path,
+        max_pending=max_pending,
+        auth_token=auth_token,
     )
     bound_host, bound_port = await service.start()
     if service._arena_info:  # noqa: SLF001 - own module
@@ -663,6 +885,18 @@ async def _serve_until_stopped(
                 f"{service._arena_info['nodes']} nodes over "  # noqa: SLF001
                 f"{', '.join(circuits)}"
             )
+    if service.last_replay is not None:
+        replay = service.last_replay
+        echo(
+            f"bdsmaj serve: journal {journal_path} replayed "
+            f"{len(replay.jobs)} jobs ({replay.records} records"
+            + (
+                f", {replay.truncated_bytes} torn bytes truncated"
+                if replay.truncated_bytes
+                else ""
+            )
+            + ")"
+        )
     echo(
         f"bdsmaj serve: listening on http://{bound_host}:{bound_port} "
         f"({concurrency} concurrent jobs); Ctrl-C to stop"
@@ -689,10 +923,19 @@ def run_server(
     result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
     warm_pools: bool = True,
     arena_circuits: "tuple[str, ...] | list[str] | None" = DEFAULT_ARENA_CIRCUITS,
+    journal_path: "str | os.PathLike | None" = None,
+    max_pending: int | None = None,
+    auth_token: str | None = None,
 ) -> int:
-    """Blocking entry point behind ``bdsmaj serve``."""
+    """Blocking entry point behind ``bdsmaj serve``.
+
+    ``auth_token=None`` falls back to the :data:`AUTH_TOKEN_ENV`
+    environment variable (so tokens need not appear on command lines);
+    an empty value in either place means "no auth"."""
     if echo is None:
         echo = lambda message: print(message, file=sys.stderr, flush=True)  # noqa: E731
+    if auth_token is None:
+        auth_token = os.environ.get(AUTH_TOKEN_ENV) or None
     asyncio.run(
         _serve_until_stopped(
             host,
@@ -705,6 +948,9 @@ def run_server(
             result_cache_size=result_cache_size,
             warm_pools=warm_pools,
             arena_circuits=arena_circuits,
+            journal_path=journal_path,
+            max_pending=max_pending,
+            auth_token=auth_token,
         )
     )
     return 0

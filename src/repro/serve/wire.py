@@ -32,11 +32,18 @@ _SUBMISSION_FIELDS = frozenset(
 
 class WireError(ValueError):
     """A client-side protocol error, carrying the HTTP status to answer
-    with (400 unless stated otherwise)."""
+    with (400 unless stated otherwise) plus any extra response headers
+    (``Retry-After`` on 429, ``WWW-Authenticate`` on 401, ...)."""
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers or {})
 
 
 def _int_field(payload: dict, key: str, default: int) -> int:

@@ -48,6 +48,7 @@ class HttpClient:
         path: str,
         body: dict | None = None,
         close: bool = False,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, bytes]:
         """One request over the persistent connection.
 
@@ -62,6 +63,8 @@ class HttpClient:
             f"Host: test\r\n"
             f"Content-Length: {len(payload)}\r\n"
         )
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
         if close:
             head += "Connection: close\r\n"
         self._writer.write(head.encode("latin-1") + b"\r\n" + payload)
@@ -107,12 +110,15 @@ async def http_request(
     method: str,
     path: str,
     body: dict | None = None,
+    headers: dict[str, str] | None = None,
 ) -> tuple[int, bytes]:
     """One request on a fresh connection (sends ``Connection: close``);
     returns ``(status, body_bytes)`` after the server closes it."""
     client = await HttpClient.connect(host, port)
     try:
-        status, first = await client.request(method, path, body, close=True)
+        status, first = await client.request(
+            method, path, body, close=True, headers=headers
+        )
         # Read-to-EOF keeps the historical contract exact for streamed
         # responses that follow the framed part (there are none today,
         # but the events endpoint is unframed end-to-end).
@@ -123,9 +129,14 @@ async def http_request(
 
 
 async def http_json(
-    host: str, port: int, method: str, path: str, body: dict | None = None
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    headers: dict[str, str] | None = None,
 ) -> tuple[int, dict]:
-    status, raw = await http_request(host, port, method, path, body)
+    status, raw = await http_request(host, port, method, path, body, headers)
     return status, json.loads(raw)
 
 

@@ -1,0 +1,357 @@
+"""Journal durability tests: framing, replay, compaction, crash-replay.
+
+The headline test mirrors the acceptance criteria: a server is
+SIGKILL'd mid-batch, restarted on the same journal, and must (a) serve
+the already-finished job's report byte-identical to the pre-crash
+bytes, (b) re-run the interrupted job to completion, and (c) answer a
+resubmission of replayed work from the rehydrated result cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.flows import BatchConfig, run_batch
+from repro.serve import JobRequest, JobStore, SynthesisService
+from repro.serve.journal import (
+    JobJournal,
+    JournalError,
+    _decode_line,
+    _encode_record,
+)
+
+from .client import http_json, http_request, poll_job
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        record = {"type": "submit", "id": "job-000001", "v": 1}
+        assert _decode_line(_encode_record(record)) == record
+
+    def test_rejects_bad_crc_missing_newline_and_garbage(self):
+        line = _encode_record({"type": "cancel", "id": "job-000002", "v": 1})
+        corrupted = bytearray(line)
+        corrupted[12] ^= 0xFF  # flip a byte inside the JSON
+        assert _decode_line(bytes(corrupted)) is None
+        assert _decode_line(line[:-1]) is None  # torn: no newline
+        assert _decode_line(b"not a journal line\n") is None
+        assert _decode_line(b"00000000\t[1,2]\n") is None  # CRC mismatch
+
+
+def _fill_store(path: Path, **journal_kwargs) -> tuple[JobJournal, JobStore]:
+    journal = JobJournal(path, fsync=False, **journal_kwargs)
+    journal.open()
+    store = JobStore(journal=journal)
+    return journal, store
+
+
+class TestReplay:
+    def test_terminal_states_and_interrupted_jobs_replay(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        journal, store = _fill_store(path)
+        report = run_batch(["alu2"], BatchConfig())
+        done = store.create(JobRequest(circuits=("alu2",)), [])
+        done.cache_key = "key-alu2"
+        done.finish(report)
+        failed = store.create(JobRequest(circuits=("f51m",)), [])
+        failed.fail("boom")
+        cancelled = store.create(JobRequest(circuits=("vda",)), [])
+        cancelled.mark_cancelled()
+        interrupted = store.create(JobRequest(circuits=("misex3",)), [])
+        assert interrupted.state == "queued"  # no terminal record written
+        journal.close()
+
+        replay = JobJournal(path, fsync=False).open()
+        by_id = {job.id: job for job in replay.jobs}
+        assert len(by_id) == 4
+        assert by_id[done.id].state == "done"
+        assert by_id[done.id].cache_key == "key-alu2"
+        # The byte-identity contract: the journaled report re-serializes
+        # to exactly the bytes the original produced.
+        assert by_id[done.id].report.to_json() == report.to_json()
+        assert by_id[done.id].report.to_csv() == report.to_csv()
+        assert by_id[failed.id].state == "error"
+        assert by_id[failed.id].error == "boom"
+        assert by_id[cancelled.id].state == "cancelled"
+        assert by_id[interrupted.id].state is None  # to be re-enqueued
+        assert replay.next_id == 5
+        assert replay.corrupt_lines == 0
+        assert replay.truncated_bytes == 0
+
+    def test_torn_tail_is_truncated_and_tolerated(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        journal, store = _fill_store(path)
+        store.create(JobRequest(circuits=("alu2",)), []).mark_cancelled()
+        journal.close()
+        intact_size = path.stat().st_size
+        with open(path, "ab") as stream:
+            stream.write(b"deadbeef\t{\"type\": \"torn")  # crash mid-write
+
+        journal = JobJournal(path, fsync=False)
+        replay = journal.open()
+        assert replay.truncated_bytes > 0
+        assert len(replay.jobs) == 1
+        # The tail is physically gone, so future appends stay framed.
+        journal.close()
+        assert path.stat().st_size == intact_size
+
+    def test_midfile_corruption_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        journal, store = _fill_store(path)
+        first = store.create(JobRequest(circuits=("alu2",)), [])
+        first.mark_cancelled()
+        second = store.create(JobRequest(circuits=("f51m",)), [])
+        second.mark_cancelled()
+        journal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"00000000\tcorrupted-but-terminated\n"
+        path.write_bytes(b"".join(lines))
+
+        replay = JobJournal(path, fsync=False).open()
+        assert replay.corrupt_lines == 1
+        by_id = {job.id: job for job in replay.jobs}
+        # first lost its cancel record to bit rot -> replays interrupted;
+        # second is untouched.
+        assert by_id[first.id].state is None
+        assert by_id[second.id].state == "cancelled"
+
+    def test_unknown_version_refuses_to_replay(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        path.write_bytes(_encode_record({"v": 99, "type": "meta", "next_id": 7}))
+        with pytest.raises(JournalError):
+            JobJournal(path, fsync=False).open()
+
+    def test_compaction_keeps_live_records_and_id_counter(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        # A tiny threshold so every terminal transition compacts once
+        # the doubling rule allows it.
+        journal, store = _fill_store(path, compact_bytes=1)
+        for key in ("alu2", "f51m", "vda"):
+            store.create(JobRequest(circuits=(key,)), []).mark_cancelled()
+        assert journal.compactions >= 1
+        journal.close()
+
+        replay = JobJournal(path, fsync=False).open()
+        assert len(replay.jobs) == 3
+        assert all(job.state == "cancelled" for job in replay.jobs)
+        assert replay.next_id == 4  # the meta record pinned the counter
+
+    def test_compaction_doubling_rule_prevents_thrash(self, tmp_path):
+        journal, store = _fill_store(
+            tmp_path / "jobs.journal", compact_bytes=1
+        )
+        store.create(JobRequest(circuits=("alu2",)), []).mark_cancelled()
+        first_compactions = journal.compactions
+        assert first_compactions >= 1
+        # The next append is far below 2x the post-compaction size, so
+        # no rewrite happens.
+        store.create(JobRequest(circuits=("f51m",)), [])
+        assert journal.compactions == first_compactions
+        journal.close()
+
+
+async def _with_service(test, **kwargs):
+    service = SynthesisService(port=0, **kwargs)
+    host, port = await service.start()
+    try:
+        return await test(service, host, port)
+    finally:
+        await service.shutdown()
+
+
+class TestServiceReplay:
+    def test_restart_serves_identical_bytes_and_rehydrates_cache(self, tmp_path):
+        """Run a job to completion, shut down cleanly, restart on the
+        same journal: the result bytes must match and a resubmission
+        must be answered from the rehydrated cache."""
+        journal = tmp_path / "jobs.journal"
+
+        async def first_run(service, host, port):
+            status, job = await http_json(
+                host, port, "POST", "/jobs", {"circuits": ["alu2"]}
+            )
+            assert status == 202
+            await poll_job(host, port, job["id"])
+            status, body = await http_request(
+                host, port, "GET", f"/jobs/{job['id']}/result"
+            )
+            assert status == 200
+            return job["id"], body
+
+        job_id, first_bytes = run(
+            _with_service(first_run, concurrency=1, journal_path=journal)
+        )
+
+        async def second_run(service, host, port):
+            replay = service.last_replay
+            assert replay is not None and len(replay.jobs) == 1
+            status, body = await http_request(
+                host, port, "GET", f"/jobs/{job_id}/result"
+            )
+            assert status == 200
+            assert body == first_bytes
+            # Resubmission of replayed work: a cache hit, no queue trip.
+            status, again = await http_json(
+                host, port, "POST", "/jobs", {"circuits": ["alu2"]}
+            )
+            assert status == 202
+            assert again["cached"] is True
+            assert again["id"] != job_id  # ids keep counting past replay
+            status, metrics = await http_json(host, port, "GET", "/metrics")
+            assert metrics["result_cache"]["hits"] == 1
+            assert metrics["journal"]["replayed_jobs"] == 1
+            status, body = await http_request(
+                host, port, "GET", f"/jobs/{again['id']}/result"
+            )
+            return body
+
+        second_bytes = run(
+            _with_service(second_run, concurrency=1, journal_path=journal)
+        )
+        assert second_bytes == first_bytes
+
+    def test_graceful_shutdown_journals_queued_jobs_as_cancelled(self, tmp_path):
+        journal = tmp_path / "jobs.journal"
+
+        async def scenario(service, host, port):
+            # Submit without letting the queue run it (the queue seam
+            # the backpressure tests use too): the job stays queued, and
+            # shutdown's cancel sweep must journal it.
+            service.queue.submit = lambda job: None
+            status, job = await http_json(
+                host, port, "POST", "/jobs", {"circuits": ["alu2"]}
+            )
+            assert status == 202
+            return job["id"]
+
+        job_id = run(_with_service(scenario, concurrency=1, journal_path=journal))
+
+        async def after_restart(service, host, port):
+            status, payload = await http_json(host, port, "GET", f"/jobs/{job_id}")
+            assert status == 200
+            assert payload["status"] == "cancelled"
+
+        run(_with_service(after_restart, concurrency=1, journal_path=journal))
+
+
+def _spawn_server(journal: Path, extra: list[str] | None = None):
+    """Start a ``bdsmaj serve`` subprocess on an ephemeral port; returns
+    (process, port) once the listen line appears on stderr."""
+    import re
+    import subprocess
+
+    src_root = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(src_root)
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    env["BDSMAJ_AUTH_TOKEN"] = ""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--port",
+            "0",
+            "--arena",
+            "off",
+            "--concurrency",
+            "1",
+            "--journal",
+            str(journal),
+        ]
+        + (extra or []),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    pattern = re.compile(r"listening on http://([0-9.]+):(\d+)")
+    while True:
+        line = process.stderr.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited with {process.wait()} before listening"
+            )
+        match = pattern.search(line.decode("utf-8", "replace"))
+        if match:
+            return process, int(match.group(2))
+
+
+class TestCrashReplay:
+    def test_sigkill_mid_batch_replays_and_reruns(self, tmp_path):
+        """SIGKILL a journaled server mid-batch; the restart must serve
+        the finished job byte-identically, re-run the interrupted ones,
+        and answer resubmissions from the rehydrated cache."""
+        journal = tmp_path / "jobs.journal"
+        process, port = _spawn_server(journal)
+        try:
+
+            async def submit_and_wait():
+                status, first = await http_json(
+                    "127.0.0.1", port, "POST", "/jobs", {"circuits": ["alu2"]}
+                )
+                assert status == 202
+                await poll_job("127.0.0.1", port, first["id"])
+                status, first_bytes = await http_request(
+                    "127.0.0.1", port, "GET", f"/jobs/{first['id']}/result"
+                )
+                assert status == 200
+                # Pile up more work than concurrency=1 drains instantly;
+                # these are the jobs the SIGKILL interrupts.
+                pending = []
+                for key in ("f51m", "vda", "misex3"):
+                    status, job = await http_json(
+                        "127.0.0.1", port, "POST", "/jobs", {"circuits": [key]}
+                    )
+                    assert status == 202
+                    pending.append(job["id"])
+                return first["id"], first_bytes, pending
+
+            first_id, first_bytes, pending = run(submit_and_wait())
+        finally:
+            process.kill()  # SIGKILL: no shutdown hooks, no cancel records
+            process.wait()
+
+        process, port = _spawn_server(journal)
+        try:
+
+            async def after_crash():
+                # The finished job replays byte-identically...
+                status, body = await http_request(
+                    "127.0.0.1", port, "GET", f"/jobs/{first_id}/result"
+                )
+                assert status == 200
+                assert body == first_bytes
+                # ...and every interrupted job re-runs to completion
+                # under its original id ("a crash loses nothing").
+                for job_id in pending:
+                    final = await poll_job("127.0.0.1", port, job_id)
+                    assert final["status"] == "done"
+                # Resubmitting replayed work hits the rehydrated cache.
+                status, again = await http_json(
+                    "127.0.0.1", port, "POST", "/jobs", {"circuits": ["alu2"]}
+                )
+                assert status == 202
+                assert again["cached"] is True
+                status, metrics = await http_json(
+                    "127.0.0.1", port, "GET", "/metrics"
+                )
+                assert metrics["journal"]["replayed_jobs"] == 4
+
+            run(after_crash())
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
