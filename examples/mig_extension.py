@@ -39,8 +39,6 @@ def main() -> None:
 
     # Trees -> MIG: MAJ nodes become native majorities.
     mig = trees_to_mig(builder, roots, list(network.inputs))
-    for output in network.outputs:
-        pass  # outputs were attached per-root above
     print(f"as MIG: {mig.size()} majority nodes, depth {mig.depth()}")
 
     # Compare against the naive translation of the *original* network.

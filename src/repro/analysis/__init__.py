@@ -1,0 +1,27 @@
+"""``repro.analysis`` — bdslint, project-contract static analysis.
+
+The framework (:mod:`~repro.analysis.core`, :mod:`~repro.analysis.scopes`,
+:mod:`~repro.analysis.runner`, :mod:`~repro.analysis.report`,
+:mod:`~repro.analysis.suppress`) plus the built-in rule packs under
+:mod:`~repro.analysis.rules`.  Importing this package loads the packs,
+so :data:`REGISTRY` is fully populated after ``import repro.analysis``.
+"""
+
+from .core import REGISTRY, Finding, Rule, RuleRegistry
+from .report import JSON_SCHEMA, render_json, render_text
+from .runner import AnalysisResult, analyze_file, analyze_paths, analyze_source
+from . import rules  # noqa: F401  (imports register the built-in packs)
+
+__all__ = [
+    "REGISTRY",
+    "Finding",
+    "Rule",
+    "RuleRegistry",
+    "JSON_SCHEMA",
+    "render_json",
+    "render_text",
+    "AnalysisResult",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+]

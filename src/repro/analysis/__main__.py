@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — run the bdslint CLI."""
+
+from .cli import run
+
+raise SystemExit(run(prog="python -m repro.analysis"))

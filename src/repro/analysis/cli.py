@@ -1,0 +1,81 @@
+"""``bdsmaj lint`` / ``python -m repro.analysis`` command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import REGISTRY
+from .report import exit_code, render_json, render_text
+from .runner import analyze_paths
+
+
+def build_parser(prog: str = "bdslint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Project-contract static analysis: determinism (DET), "
+            "async-safety (ASY), resource lifecycle (RES) and BDD "
+            "engine invariants (ENG)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help=(
+            "only run matching rules; exact id (DET001) or family "
+            "prefix (DET); repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings with their justifications",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def run(argv: "list[str] | None" = None, prog: str = "bdslint") -> int:
+    args = build_parser(prog).parse_args(argv)
+    if args.list_rules:
+        for rule in REGISTRY.rules():
+            print(f"{rule.id}  {rule.name} [{rule.severity}]")
+            print(f"        {rule.rationale}")
+        return 0
+    try:
+        rules = REGISTRY.select(args.select)
+    except ValueError as exc:
+        print(f"bdslint: {exc}", file=sys.stderr)
+        return 2
+    result = analyze_paths(args.paths, rules=rules)
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return exit_code(result)
+
+
+def main() -> None:
+    raise SystemExit(run())
+
+
+if __name__ == "__main__":
+    main()

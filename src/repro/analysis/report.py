@@ -1,0 +1,85 @@
+"""Reporters: human text and machine JSON (``bdslint-report/v1``).
+
+Both render the same :class:`~repro.analysis.runner.AnalysisResult`;
+the JSON schema is frozen (tests/analysis asserts it) because the CI
+``lint-contracts`` job and any future dashboards parse it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .core import SEVERITIES, Finding
+from .runner import AnalysisResult
+
+JSON_SCHEMA = "bdslint-report/v1"
+
+
+def render_text(result: AnalysisResult, *, show_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} [{finding.severity}] {finding.message}"
+        )
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                f"{finding.rule} [suppressed] {finding.message} "
+                f"(justification: {finding.justification})"
+            )
+    lines.append(_summary_line(result))
+    return "\n".join(lines)
+
+
+def _summary_line(result: AnalysisResult) -> str:
+    if result.clean:
+        body = "no unsuppressed findings"
+    else:
+        by_severity = Counter(f.severity for f in result.findings)
+        body = ", ".join(
+            f"{by_severity[severity]} {severity}(s)"
+            for severity in SEVERITIES
+            if by_severity[severity]
+        )
+    suffix = (
+        f"; {len(result.suppressed)} suppressed" if result.suppressed else ""
+    )
+    return f"bdslint: {result.files} file(s) checked, {body}{suffix}"
+
+
+def render_json(result: AnalysisResult) -> str:
+    payload = {
+        "schema": JSON_SCHEMA,
+        "findings": [f.to_payload() for f in result.findings],
+        "suppressed": [f.to_payload() for f in result.suppressed],
+        "summary": {
+            "files": result.files,
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "by_rule": _ordered_counts(f.rule for f in result.findings),
+            "by_severity": _ordered_counts(f.severity for f in result.findings),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _ordered_counts(values) -> dict[str, int]:
+    counts = Counter(values)
+    return {key: counts[key] for key in sorted(counts)}
+
+
+def exit_code(result: AnalysisResult) -> int:
+    """0 = clean (suppressed findings do not fail the run), 1 = findings."""
+    return 0 if result.clean else 1
+
+
+__all__ = [
+    "JSON_SCHEMA",
+    "render_text",
+    "render_json",
+    "exit_code",
+    "Finding",
+]

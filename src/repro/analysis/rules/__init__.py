@@ -1,0 +1,6 @@
+"""Built-in rule packs.  Importing this package registers every rule
+into :data:`repro.analysis.core.REGISTRY`."""
+
+from . import asyncsafety, determinism, engine, resources  # noqa: F401
+
+__all__ = ["asyncsafety", "determinism", "engine", "resources"]

@@ -1,0 +1,128 @@
+"""ENG — BDD engine invariants.
+
+The mutable node store (``repro.bdd.manager``) keeps three structures
+in lock-step: the per-level subtables, the node refcounts, and the
+memoized operation cache keyed by node ids.  Two invariants guard
+them:
+
+* any function that performs *structural surgery* on ``_subtables``
+  (deleting entries or re-pointing slots, as ``swap_adjacent`` and
+  ``gc`` do) must flush the op cache in the same function — a stale
+  memo whose operands were re-pointed returns a wrong BDD silently
+  (ENG001);
+* refcount-mutating helpers (``_mk``/``_ref``/``_deref``) are manager
+  privates; calling them on a manager object from outside the manager
+  module bypasses the accounting the garbage collector and the sift
+  engine rely on (ENG002 — a warning, because ``substitute``/
+  ``cofactor`` are sanctioned friend modules with justified
+  suppressions).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import REGISTRY, Finding, Rule
+from ..scopes import ModuleContext
+
+
+def _touches_subtables(node: ast.AST) -> bool:
+    """Does ``node``'s expression chain pass through ``_subtables``?"""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Attribute) and inner.attr == "_subtables":
+            return True
+        if isinstance(inner, ast.Name) and inner.id == "_subtables":
+            return True
+    return False
+
+
+@REGISTRY.register
+class SubtableSurgeryWithoutCacheFlush(Rule):
+    """ENG001: structural ``_subtables`` surgery without a cache flush."""
+
+    id = "ENG001"
+    name = "subtable-surgery-without-cache-flush"
+    severity = "error"
+    rationale = (
+        "deleting or re-pointing subtable slots invalidates memoized "
+        "op-cache entries keyed on the old structure; the same function "
+        "must clear the cache"
+    )
+    modules = ("repro.bdd",)
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        surgery: list[ast.stmt] = []
+        flushes = False
+        for child in ast.walk(node):
+            if isinstance(child, ast.Delete) and any(
+                _touches_subtables(target) for target in child.targets
+            ):
+                surgery.append(child)
+            elif isinstance(child, ast.Assign) and any(
+                isinstance(target, ast.Subscript) and _touches_subtables(target)
+                for target in child.targets
+            ):
+                surgery.append(child)
+            elif isinstance(child, ast.Call) and isinstance(
+                child.func, ast.Attribute
+            ):
+                # ._cache.clear() or a clear_caches()-style helper
+                if child.func.attr == "clear" and _mentions_cache(child.func.value):
+                    flushes = True
+                elif "cache" in child.func.attr and "clear" in child.func.attr:
+                    flushes = True
+        if surgery and not flushes:
+            yield self.finding(
+                ctx,
+                surgery[0],
+                f"{node.name}() restructures _subtables but never clears "
+                "the op cache; stale memos now alias re-pointed nodes",
+            )
+
+
+def _mentions_cache(expr: ast.AST) -> bool:
+    return any(
+        isinstance(inner, ast.Attribute) and "cache" in inner.attr
+        for inner in ast.walk(expr)
+    ) or any(
+        isinstance(inner, ast.Name) and "cache" in inner.id
+        for inner in ast.walk(expr)
+    )
+
+
+@REGISTRY.register
+class RefcountOutsideManager(Rule):
+    """ENG002: refcount-mutating manager privates called from outside."""
+
+    id = "ENG002"
+    name = "refcount-outside-manager"
+    severity = "warning"
+    rationale = (
+        "_mk/_ref/_deref keep node refcounts and subtables consistent; "
+        "callers outside the manager bypass gc/sift accounting (friend "
+        "modules carry justified suppressions)"
+    )
+    modules = ("repro.bdd",)
+    exempt_modules = ("repro.bdd.manager",)
+    node_types = (ast.Attribute,)
+
+    _HELPERS = ("_mk", "_ref", "_deref")
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Attribute)
+        if node.attr not in self._HELPERS:
+            return
+        # self._mk(...) inside a class that owns the helper is fine;
+        # the contract is about reaching into *another* object.
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return
+        yield self.finding(
+            ctx,
+            node,
+            f"manager-private {node.attr} accessed outside "
+            "repro.bdd.manager; refcount accounting must stay inside "
+            "the manager",
+        )

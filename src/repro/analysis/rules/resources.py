@@ -1,0 +1,138 @@
+"""RES — resource-lifecycle rules.
+
+Shared-memory blocks, journal files and worker pools each have exactly
+one sanctioned acquire/release idiom in this repository:
+
+* a worker may *attach* to the published arena only through
+  ``repro.bdd.arena._attach_block``, which pairs
+  ``SharedMemory(name=...)`` with ``resource_tracker.unregister`` so a
+  non-owning process never schedules the segment for unlink (RES001);
+* a journal append must hit the platter — ``write`` → ``flush`` →
+  ``os.fsync`` — before the HTTP response acknowledges the job, or a
+  crash loses an acknowledged submission (RES002);
+* pool construction/acquisition must be followed by a terminating
+  error path (a ``with`` block or an immediate ``try``), or a raise
+  between acquire and release leaks live worker processes (RES003).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import REGISTRY, Finding, Rule
+from ..scopes import ModuleContext
+
+
+@REGISTRY.register
+class ShmAttachOutsideArena(Rule):
+    """RES001: raw SharedMemory attach outside ``repro.bdd.arena``."""
+
+    id = "RES001"
+    name = "shm-attach-outside-arena"
+    severity = "error"
+    rationale = (
+        "attaching SharedMemory(name=...) without the arena's "
+        "resource-tracker unregister idiom makes the first worker exit "
+        "unlink the segment under everyone else"
+    )
+    exempt_modules = ("repro.bdd.arena",)
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = ctx.resolve_call(node)
+        if dotted is None or not dotted.endswith("SharedMemory"):
+            return
+        keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        creates = (
+            isinstance(keywords.get("create"), ast.Constant)
+            and keywords["create"].value is True
+        )
+        if "name" in keywords and not creates:
+            yield self.finding(
+                ctx,
+                node,
+                "SharedMemory attach outside repro.bdd.arena; use "
+                "arena.attach()/_attach_block, which unregisters the "
+                "segment from the resource tracker",
+            )
+
+
+@REGISTRY.register
+class JournalWriteWithoutFsync(Rule):
+    """RES002: a journal function writing without fsync."""
+
+    id = "RES002"
+    name = "journal-write-without-fsync"
+    severity = "error"
+    rationale = (
+        "an acknowledged journal append that never reached the platter "
+        "is lost on crash; every .write() path must os.fsync before "
+        "the response"
+    )
+    modules = ("repro.serve.journal",)
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        writes = False
+        fsyncs = False
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            if (
+                isinstance(child.func, ast.Attribute)
+                and child.func.attr == "write"
+            ):
+                writes = True
+            dotted = ctx.resolve_call(child)
+            if dotted in ("os.fsync", "os.fdatasync"):
+                fsyncs = True
+        if writes and not fsyncs:
+            yield self.finding(
+                ctx,
+                node,
+                f"journal function {node.name}() calls .write() but "
+                "never os.fsync(); the append is not durable",
+            )
+
+
+@REGISTRY.register
+class UnguardedPoolAcquire(Rule):
+    """RES003: pool construction/acquisition with no error path."""
+
+    id = "RES003"
+    name = "unguarded-pool-acquire"
+    severity = "warning"
+    rationale = (
+        "a raise between pool acquire and release leaks live worker "
+        "processes; acquire inside `with` or follow immediately with "
+        "try/finally"
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in ("Pool", "acquire"):
+            return
+        if node.func.attr == "acquire":
+            # Only pool-manager acquisition is in scope; lock.acquire()
+            # and friends are someone else's contract.
+            dotted = ctx.resolve_call(node)
+            if dotted is None or "pool" not in dotted.lower():
+                return
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith, ast.Try)):
+                return
+        following = ctx.next_statement(node)
+        if isinstance(following, ast.Try):
+            return
+        yield self.finding(
+            ctx,
+            node,
+            f".{node.func.attr}() result has no terminating error path; "
+            "wrap in `with` or follow immediately with try/finally",
+        )

@@ -1,0 +1,137 @@
+"""Drive the rules over files: parse, dispatch, suppress, collect.
+
+:func:`analyze_source` is the core (and the fixture-test entry point):
+parse one buffer, run every applicable rule over the node types it
+declared, apply inline suppressions, and return an
+:class:`AnalysisResult`.  :func:`analyze_paths` maps that over files
+and directories, deriving each file's dotted module name by walking
+``__init__.py`` markers upward so rule module-scoping works no matter
+where the tree is checked out.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from .core import REGISTRY, Finding, Rule
+from .scopes import ModuleContext
+from .suppress import apply_suppressions, scan_suppressions
+
+PARSE_RULE_ID = "PARSE001"
+PARSE_RULE_NAME = "unparseable-source"
+PARSE_RATIONALE = "a file the analyzer cannot parse is an unchecked file"
+
+
+@dataclass
+class AnalysisResult:
+    """Findings of one run, split by suppression state."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    def extend(self, other: "AnalysisResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files += other.files
+
+    def sort(self) -> None:
+        self.findings.sort(key=Finding.sort_key)
+        self.suppressed.sort(key=Finding.sort_key)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def analyze_source(
+    source: str,
+    module: str = "fixture",
+    path: str = "<string>",
+    rules: "list[Rule] | None" = None,
+) -> AnalysisResult:
+    """Analyze one source buffer (the unit the fixture tests drive)."""
+    chosen = REGISTRY.rules() if rules is None else rules
+    result = AnalysisResult(files=1)
+    suppressions, sup_findings = scan_suppressions(source, path, module)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule=PARSE_RULE_ID,
+                name=PARSE_RULE_NAME,
+                severity="error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                module=module,
+                message=f"cannot parse: {exc.msg}",
+            )
+        )
+        result.findings.extend(sup_findings)
+        result.sort()
+        return result
+
+    ctx = ModuleContext(tree, module, path, source)
+    applicable = [rule for rule in chosen if rule.applies_to(module)]
+    raw: list[Finding] = []
+    if applicable:
+        for node in ast.walk(tree):
+            for rule in applicable:
+                if rule.node_types and not isinstance(node, rule.node_types):
+                    continue
+                raw.extend(rule.check(node, ctx))
+    active, suppressed = apply_suppressions(raw, suppressions)
+    # SUP001 findings are meta: never themselves suppressible.
+    result.findings.extend(active)
+    result.findings.extend(sup_findings)
+    result.suppressed.extend(suppressed)
+    result.sort()
+    return result
+
+
+def analyze_file(path: str, rules: "list[Rule] | None" = None) -> AnalysisResult:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return analyze_source(
+        source, module=module_name_for(path), path=path, rules=rules
+    )
+
+
+def analyze_paths(paths: "list[str]", rules: "list[Rule] | None" = None) -> AnalysisResult:
+    """Analyze files and (recursively) directories of ``*.py`` files."""
+    result = AnalysisResult()
+    for target in sorted(iter_python_files(paths)):
+        result.extend(analyze_file(target, rules=rules))
+    result.sort()
+    return result
+
+
+def iter_python_files(paths: "list[str]"):
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        elif path.endswith(".py"):
+            yield path
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of ``path``, found by walking up while the
+    parent directory holds an ``__init__.py``.  Falls back to the bare
+    stem for scripts outside any package."""
+    absolute = os.path.abspath(path)
+    directory, filename = os.path.split(absolute)
+    stem = os.path.splitext(filename)[0]
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.insert(0, package)
+    return ".".join(parts) if parts else stem

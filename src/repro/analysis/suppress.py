@@ -1,0 +1,114 @@
+"""Inline suppressions: ``# bdslint: disable=RULE1,RULE2 -- why``.
+
+A suppression silences named rules on its own line, and it **must**
+carry a justification after ``--``.  A disable comment without one is
+itself a finding (``SUP001``) *and* the suppression is ignored — the
+violation it tried to hide is still reported.  That keeps the
+suppression inventory reviewable: every silenced finding names the
+contract it waives and the reason the waiver is sound.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .core import Finding
+
+#: Matches a disable comment anywhere on a line.  The rule list is
+#: comma-separated ids; everything after `` -- `` is the justification.
+_DISABLE_RE = re.compile(
+    r"#\s*bdslint:\s*disable=(?P<rules>[A-Z0-9_,\s]+?)"
+    r"(?:\s+--[ \t]*(?P<why>.*?))?\s*$"
+)
+
+SUP_RULE_ID = "SUP001"
+SUP_RULE_NAME = "suppression-without-justification"
+SUP_RATIONALE = (
+    "every waived contract must say why the waiver is sound; a bare "
+    "disable is unreviewable and is ignored"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One justified disable comment."""
+
+    line: int
+    rules: frozenset[str]
+    justification: str
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.line == self.line and finding.rule in self.rules
+
+
+def scan_suppressions(
+    source: str, path: str, module: str
+) -> tuple[list[Suppression], list[Finding]]:
+    """Parse every disable comment in ``source``.
+
+    Returns the usable (justified) suppressions and the ``SUP001``
+    findings for unjustified ones.
+    """
+    suppressions: list[Suppression] = []
+    findings: list[Finding] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        justification = match.group("why")
+        if not justification:
+            findings.append(
+                Finding(
+                    rule=SUP_RULE_ID,
+                    name=SUP_RULE_NAME,
+                    severity="error",
+                    path=path,
+                    line=lineno,
+                    col=match.start(),
+                    module=module,
+                    message=(
+                        "bdslint disable comment lacks a justification "
+                        "(append ' -- <reason>'); the suppression is ignored"
+                    ),
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(line=lineno, rules=rules, justification=justification)
+        )
+    return suppressions, findings
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into (active, suppressed).
+
+    Suppressed findings are kept — stamped with their justification —
+    so reporters can show the waived inventory instead of losing it.
+    """
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        match = next((s for s in suppressions if s.covers(finding)), None)
+        if match is None:
+            active.append(finding)
+        else:
+            suppressed.append(
+                Finding(
+                    rule=finding.rule,
+                    name=finding.name,
+                    severity=finding.severity,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    module=finding.module,
+                    message=finding.message,
+                    justification=match.justification,
+                )
+            )
+    return active, suppressed

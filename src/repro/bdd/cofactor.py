@@ -47,7 +47,7 @@ def constrain(mgr: BDD, f: int, c: int) -> int:
             elif c0 == mgr.ZERO:
                 result = walk(f1, c1)
             else:
-                result = mgr._mk(level, walk(f1, c1), walk(f0, c0))
+                result = mgr._mk(level, walk(f1, c1), walk(f0, c0))  # bdslint: disable=ENG002 -- sanctioned friend module: constrain rebuilds nodes through the manager's hash-consing entry point
             cache[key] = result
         return result
 
@@ -93,7 +93,7 @@ def restrict(mgr: BDD, f: int, c: int) -> int:
                 elif c0 == mgr.ZERO:
                     result = walk(f1, c1)
                 else:
-                    result = mgr._mk(level, walk(f1, c1), walk(f0, c0))
+                    result = mgr._mk(level, walk(f1, c1), walk(f0, c0))  # bdslint: disable=ENG002 -- sanctioned friend module: restrict rebuilds nodes through the manager's hash-consing entry point
             cache[key] = result
         return result
 

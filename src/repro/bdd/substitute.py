@@ -48,7 +48,7 @@ def replace_node(mgr: BDD, root: int, node_index: int, replacement: int) -> int:
         rebuilt = cache.get(index)
         if rebuilt is None:
             level, high, low = mgr.node_fields(index)
-            rebuilt = mgr._mk(level, walk(high), walk(low))
+            rebuilt = mgr._mk(level, walk(high), walk(low))  # bdslint: disable=ENG002 -- sanctioned friend module: substitution rebuilds nodes through the manager's hash-consing entry point
             cache[index] = rebuilt
         return rebuilt ^ complement
 

@@ -246,12 +246,12 @@ def array_multiplier(width: int = 16, name: str = "array_mult") -> LogicNetwork:
     first_row = [net.add_and(namer("pp"), a[i], b[0]) for i in range(width)]
     outputs: list[str] = [first_row[0]]
     # Accumulator holds weights j .. j+width-1 at the top of row j.
-    accumulator = first_row[1:] + [zero]
+    accumulator = [*first_row[1:], zero]
     for j in range(1, width):
         row = [net.add_and(namer("pp"), a[i], b[j]) for i in range(width)]
         sums, carry = _ripple_add(net, namer, accumulator, row)
         outputs.append(sums[0])
-        accumulator = sums[1:] + [carry]
+        accumulator = [*sums[1:], carry]
     outputs.extend(accumulator)
 
     renamed = [net.add_buf(f"prod{i}", s) for i, s in enumerate(outputs)]
@@ -345,12 +345,12 @@ def restoring_divider(width: int = 18, name: str = "div") -> LogicNetwork:
     a = _bus(net, "a", width)
     b = _bus(net, "b", width)
     zero = _const(net, namer, False)
-    divisor = b + [zero]  # width+1 bits so the subtraction never wraps
+    divisor = [*b, zero]  # width+1 bits so the subtraction never wraps
 
     remainder: list[str] = [zero] * (width + 1)
     quotient: list[str] = [""] * width
     for step in range(width - 1, -1, -1):
-        shifted = [a[step]] + remainder[:width]
+        shifted = [a[step], *remainder[:width]]
         difference, no_borrow = _subtract(net, namer, shifted, divisor)
         quotient[step] = net.add_buf(f"q{step}", no_borrow)
         remainder = _mux_bus(net, namer, no_borrow, difference, shifted)
@@ -371,13 +371,13 @@ def reciprocal(width: int = 19, name: str = "rev") -> LogicNetwork:
     zero = _const(net, namer, False)
     one = _const(net, namer, True)
     # Dividend 2^(width-1): MSB one, all lower bits zero.
-    dividend = [zero] * (width - 1) + [one]
-    divisor = x + [zero]
+    dividend = [*[zero] * (width - 1), one]
+    divisor = [*x, zero]
 
     remainder: list[str] = [zero] * (width + 1)
     quotient: list[str] = [""] * width
     for step in range(width - 1, -1, -1):
-        shifted = [dividend[step]] + remainder[:width]
+        shifted = [dividend[step], *remainder[:width]]
         difference, no_borrow = _subtract(net, namer, shifted, divisor)
         quotient[step] = net.add_buf(f"q{step}", no_borrow)
         remainder = _mux_bus(net, namer, no_borrow, difference, shifted)
@@ -408,7 +408,7 @@ def square_root(width: int = 32, name: str = "sqrt") -> LogicNetwork:
         incoming = [n[hi - 1], n[hi]]  # two next radicand bits, LSB first
         shifted = incoming + remainder[: rem_width - 2]
         # Trial subtrahend: (root << 2) | 01  == 4*root + 1, LSB first.
-        trial = [one, zero] + list(reversed(root))
+        trial = [one, zero, *reversed(root)]
         trial += [zero] * (rem_width - len(trial))
         difference, no_borrow = _subtract(net, namer, shifted, trial[:rem_width])
         remainder = _mux_bus(net, namer, no_borrow, difference, shifted)

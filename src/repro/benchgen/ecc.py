@@ -52,13 +52,14 @@ def hamming_corrector(name: str = "ecc32") -> LogicNetwork:
     # position has bit j set (balanced XOR trees).
     syndrome: list[str] = []
     for j in range(CHECK_BITS):
-        members = [checks[j]] + [
-            data[i] for i, position in enumerate(positions) if position >> j & 1
+        members = [
+            checks[j],
+            *(data[i] for i, position in enumerate(positions) if position >> j & 1),
         ]
         syndrome.append(_xor_tree(net, f"syn{j}", members))
 
     # Overall parity across everything (SEC-DED double-error guard).
-    overall = _xor_tree(net, "overall", data + checks + [parity])
+    overall = _xor_tree(net, "overall", [*data, *checks, parity])
 
     enable = net.add_and("enable", enable_a, enable_b)
     correcting = net.add_and("correcting", enable, overall)

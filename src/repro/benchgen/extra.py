@@ -74,12 +74,12 @@ def booth_multiplier(width: int = 8, name: str = "booth") -> LogicNetwork:
     zero = _const(net, namer, False)
 
     ext_width = width + 2  # zero-extended multiplicand (for 2A and sign)
-    multiplicand = a + [zero, zero]
+    multiplicand = [*a, zero, zero]
     # 2A: shifted left one.
-    twice = [zero] + multiplicand[:-1]
+    twice = [zero, *multiplicand[:-1]]
 
     product_columns: list[list[str]] = [[] for _ in range(2 * width + 4)]
-    multiplier_bits = [zero] + b + [zero, zero]  # b[-1] = 0 guard + zero-extend
+    multiplier_bits = [zero, *b, zero, zero]  # b[-1] = 0 guard + zero-extend
 
     num_groups = (width + 2) // 2
     for group in range(num_groups):

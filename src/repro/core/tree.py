@@ -21,7 +21,7 @@ from typing import Callable, Iterable, Mapping
 COUNTED_OPS = ("and", "or", "xor", "xnor", "maj")
 
 #: All operators a tree node may carry.
-ALL_OPS = COUNTED_OPS + ("not", "lit", "const0", "const1")
+ALL_OPS = (*COUNTED_OPS, "not", "lit", "const0", "const1")
 
 
 class TreeBuilder:

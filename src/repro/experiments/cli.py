@@ -15,6 +15,9 @@ Commands mirror the paper's experiments:
   (``--auth-token``);
 * ``shard`` — a consistent-hash dispatcher spawning and supervising N
   ``serve`` backends (:mod:`repro.serve.shard`);
+* ``lint`` — project-contract static analysis (:mod:`repro.analysis`):
+  determinism, async-safety, resource-lifecycle and engine-invariant
+  rules with justified inline suppressions;
 * ``list`` — available benchmarks.
 
 Circuit arguments resolve through the pluggable input layer of
@@ -308,7 +311,22 @@ def main(argv: list[str] | None = None) -> int:
         "(default: $BDSMAJ_AUTH_TOKEN; backends trust loopback)",
     )
 
+    sub.add_parser(
+        "lint",
+        help="run bdslint project-contract static analysis "
+        "(see `bdsmaj lint --help`)",
+        add_help=False,
+    )
+
     sub.add_parser("list", help="list available benchmarks")
+
+    # ``lint`` owns its whole argument tail (argparse.REMAINDER cannot
+    # pass through leading options), so delegate before parsing.
+    raw_args = sys.argv[1:] if argv is None else argv
+    if raw_args[:1] == ["lint"]:
+        from ..analysis.cli import run as run_lint
+
+        return run_lint(raw_args[1:], prog="bdsmaj lint")
 
     args = parser.parse_args(argv)
 
@@ -344,7 +362,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             items = resolve_source(args.circuit).items()
         except InputSourceError as exc:
-            raise SystemExit(str(exc))
+            raise SystemExit(str(exc)) from None
         if len(items) != 1:
             raise SystemExit(
                 f"synth expects exactly one circuit, but {args.circuit!r} "
@@ -397,7 +415,7 @@ def main(argv: list[str] | None = None) -> int:
             try:
                 items.extend(BlifGlobSource(pattern).items())
             except InputSourceError as exc:
-                raise SystemExit(f"--files: {exc}")
+                raise SystemExit(f"--files: {exc}") from None
         config = BatchConfig(
             flow=args.flow,
             workers=args.workers,

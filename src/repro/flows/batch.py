@@ -603,7 +603,7 @@ class WarmPoolManager:
 
     # -- lifecycle ------------------------------------------------------
     def _spawn(self, processes: int) -> multiprocessing.pool.Pool:
-        pool = _pool_context().Pool(
+        pool = _pool_context().Pool(  # bdslint: disable=RES003 -- manager-owned lifetime: every _spawn result is parked in _idle or handed to a caller that must release()/discard(), and drain() terminates stragglers
             processes=processes,
             initializer=_init_pool_worker_arena,
             initargs=(self.arena_name,),

@@ -97,7 +97,7 @@ def partition(network: LogicNetwork, config: PartitionConfig | None = None) -> l
     def can_absorb(cluster: Supernode, name: str) -> bool:
         members = cluster.members | {name}
         support: set[str] = set()
-        for member in members:
+        for member in members:  # bdslint: disable=DET001 -- order-insensitive: the loop only accumulates into a set whose len() is compared
             for fanin in network.node(member).fanins:
                 if fanin not in members:
                     support.add(fanin)

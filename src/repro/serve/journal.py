@@ -45,12 +45,13 @@ contract), so the class needs no locking.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..flows.batch import BatchReport
 from .jobs import CANCELLED, DONE, ERROR, JobRequest
@@ -104,14 +105,14 @@ class ReplayResult:
     truncated_bytes: int = 0
 
 
-def _encode_record(record: dict) -> bytes:
+def _encode_record(record: dict[str, Any]) -> bytes:
     """One journal line: CRC32 of the canonical JSON, tab, the JSON."""
     payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
     raw = payload.encode("utf-8")
     return b"%08x\t" % (zlib.crc32(raw) & 0xFFFFFFFF) + raw + b"\n"
 
 
-def _decode_line(line: bytes) -> dict | None:
+def _decode_line(line: bytes) -> dict[str, Any] | None:
     """Parse one journal line; ``None`` for anything not intact."""
     if not line.endswith(b"\n"):
         return None  # torn tail: the final write never completed
@@ -131,7 +132,7 @@ def _decode_line(line: bytes) -> dict | None:
     return record if isinstance(record, dict) else None
 
 
-def _request_payload(request: JobRequest) -> dict:
+def _request_payload(request: JobRequest) -> dict[str, Any]:
     return {
         "circuits": list(request.circuits),
         "flow": request.flow,
@@ -144,7 +145,7 @@ def _request_payload(request: JobRequest) -> dict:
     }
 
 
-def _request_from_payload(payload: dict) -> JobRequest:
+def _request_from_payload(payload: dict[str, Any]) -> JobRequest:
     return JobRequest(
         circuits=tuple(payload["circuits"]),
         flow=payload["flow"],
@@ -157,7 +158,7 @@ def _request_from_payload(payload: dict) -> JobRequest:
     )
 
 
-def _report_payload(report: BatchReport) -> dict:
+def _report_payload(report: BatchReport) -> dict[str, Any]:
     return {
         "flow": report.flow,
         "circuits": [circuit.to_payload() for circuit in report.circuits],
@@ -171,7 +172,7 @@ class JobJournal:
 
     def __init__(
         self,
-        path: str | os.PathLike,
+        path: str | os.PathLike[str],
         fsync: bool = True,
         compact_bytes: int = DEFAULT_COMPACT_BYTES,
     ) -> None:
@@ -180,7 +181,7 @@ class JobJournal:
         self.path = Path(path)
         self._fsync = fsync
         self._compact_bytes = compact_bytes
-        self._file = None
+        self._file: io.BufferedWriter | None = None
         self._bytes = 0
         self._last_compact_bytes = 0
         # Ids whose submit/terminal records are already on disk —
@@ -204,7 +205,7 @@ class JobJournal:
         torn tail — that is the crash case the journal exists for."""
         result = ReplayResult()
         good_end = 0
-        raw_records: list[dict] = []
+        raw_records: list[dict[str, Any]] = []
         if self.path.exists():
             with open(self.path, "rb") as stream:
                 data = stream.read()
@@ -240,7 +241,7 @@ class JobJournal:
         self._last_compact_bytes = good_end
         return result
 
-    def _replay_records(self, records: list[dict], result: ReplayResult) -> None:
+    def _replay_records(self, records: list[dict[str, Any]], result: ReplayResult) -> None:
         jobs: dict[str, ReplayedJob] = {}
         for record in records:
             kind = record.get("type")
@@ -319,6 +320,7 @@ class JobJournal:
         if job.id in self._terminal or job.id not in self._submitted:
             return
         self._terminal.add(job.id)
+        record: dict[str, Any]
         if job.state == DONE and job.report is not None:
             record = {
                 "v": JOURNAL_VERSION,
@@ -338,7 +340,7 @@ class JobJournal:
             record = {"v": JOURNAL_VERSION, "type": "cancel", "id": job.id}
         self._append(record)
 
-    def _append(self, record: dict) -> None:
+    def _append(self, record: dict[str, Any]) -> None:
         if self._file is None:
             raise JournalError("journal is not open")
         line = _encode_record(record)
@@ -445,7 +447,7 @@ class JobJournal:
             self._file.close()
             self._file = None
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """The ``/metrics`` journal gauge."""
         return {
             "path": str(self.path),

@@ -112,7 +112,7 @@ class JobQueue:
             self._runners = []
         # Runner tasks only finish after their in-flight executor calls
         # resolved, so this join cannot block on a live batch.
-        self._executor.shutdown(wait=True)
+        self._executor.shutdown(wait=True)  # bdslint: disable=ASY004 -- shutdown path: runners already gathered above, so no executor call is in flight and the join returns immediately
 
     async def _run_jobs(self) -> None:
         loop = asyncio.get_running_loop()

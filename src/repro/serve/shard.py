@@ -189,7 +189,7 @@ class BackendProcess:
         if process is None:
             return
         if process.returncode is None:
-            process.terminate()
+            process.terminate()  # bdslint: disable=ASY004 -- asyncio.subprocess.Process.terminate() only sends SIGTERM; it never waits for the child
             try:
                 await asyncio.wait_for(process.wait(), grace)
             except asyncio.TimeoutError:

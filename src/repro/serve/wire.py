@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+from typing import Any
 
 from ..bdd.manager import DEFAULT_CACHE_CAPACITY
 from .jobs import Job, JobRequest
@@ -46,7 +47,7 @@ class WireError(ValueError):
         self.headers = dict(headers or {})
 
 
-def _int_field(payload: dict, key: str, default: int) -> int:
+def _int_field(payload: dict[str, Any], key: str, default: int) -> int:
     value = payload.get(key, default)
     # bool is an int subclass; accepting it would make {"workers": true}
     # mean one worker, which is never what the client meant.
@@ -120,7 +121,7 @@ def parse_submission(raw: bytes) -> JobRequest:
     return request
 
 
-def job_payload(job: Job) -> dict:
+def job_payload(job: Job) -> dict[str, Any]:
     """The status dict for one job (``GET /jobs/<id>`` and the entries
     of ``GET /jobs``)."""
     return {
@@ -140,13 +141,13 @@ def job_payload(job: Job) -> dict:
     }
 
 
-def encode_json(payload: dict) -> bytes:
+def encode_json(payload: dict[str, Any]) -> bytes:
     """Serialize one response body with the schema tag attached (stable
     key order, trailing newline)."""
     payload = dict(payload, schema=SCHEMA)
     return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
 
 
-def encode_event_line(payload: dict) -> bytes:
+def encode_event_line(payload: dict[str, Any]) -> bytes:
     """One NDJSON progress line as streamed by ``/jobs/<id>/events``."""
     return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

@@ -1,0 +1,34 @@
+"""The repository's own source must satisfy its contracts.
+
+This is the local mirror of CI's ``lint-contracts`` job: running the
+full rule pack over ``src/`` must yield zero unsuppressed findings,
+and every suppression must carry a justification (enforced by SUP001,
+so "zero findings" already implies it — the second assertion documents
+the inventory).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze_paths([os.path.abspath(SRC)])
+
+
+def test_src_has_zero_unsuppressed_findings(result):
+    assert result.findings == [], [
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    ]
+
+
+def test_every_suppression_is_justified(result):
+    for finding in result.suppressed:
+        assert finding.justification, finding

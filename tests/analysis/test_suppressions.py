@@ -1,0 +1,67 @@
+"""Suppression semantics: justified disables silence, bare ones don't."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+FLAGGED = "key = hash(name)  {comment}\n"
+MODULE = "repro.flows.batch"
+
+
+def test_justified_disable_suppresses_and_keeps_inventory():
+    source = FLAGGED.format(
+        comment="# bdslint: disable=DET002 -- key feeds a debug log, never a report"
+    )
+    result = analyze_source(source, module=MODULE)
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["DET002"]
+    assert result.suppressed[0].justification == (
+        "key feeds a debug log, never a report"
+    )
+    assert result.clean
+
+
+def test_unjustified_disable_is_rejected_and_ignored():
+    source = FLAGGED.format(comment="# bdslint: disable=DET002")
+    result = analyze_source(source, module=MODULE)
+    fired = sorted(f.rule for f in result.findings)
+    # Both the hidden violation AND the bad suppression are reported.
+    assert fired == ["DET002", "SUP001"]
+    assert result.suppressed == []
+    assert not result.clean
+
+
+def test_empty_justification_is_rejected():
+    source = FLAGGED.format(comment="# bdslint: disable=DET002 -- ")
+    result = analyze_source(source, module=MODULE)
+    assert "SUP001" in [f.rule for f in result.findings]
+
+
+def test_disable_covers_only_named_rules_on_its_own_line():
+    source = textwrap.dedent(
+        """
+        key = hash(name)  # bdslint: disable=DET001 -- wrong rule named
+        other = hash(name)
+        """
+    )
+    result = analyze_source(source, module=MODULE)
+    assert [f.rule for f in result.findings] == ["DET002", "DET002"]
+
+
+def test_disable_lists_multiple_rules():
+    source = (
+        "for item in {hash(x)}:  "
+        "# bdslint: disable=DET001,DET002 -- fixture exercising both rules\n"
+        "    print(item)\n"
+    )
+    result = analyze_source(source, module=MODULE)
+    assert result.findings == []
+    assert sorted(f.rule for f in result.suppressed) == ["DET001", "DET002"]
+
+
+def test_sup001_itself_cannot_be_suppressed():
+    source = "key = hash(name)  # bdslint: disable=DET002,SUP001\n"
+    result = analyze_source(source, module=MODULE)
+    assert "SUP001" in [f.rule for f in result.findings]

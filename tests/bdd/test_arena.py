@@ -107,7 +107,7 @@ class TestValidation:
             arena.unlink()
 
     def test_attach_unknown_name_raises(self):
-        with pytest.raises(Exception):
+        with pytest.raises(OSError):
             BddArena.attach("bdsmaj-test-no-such-arena")
 
 
@@ -148,5 +148,5 @@ class TestLifecycle:
         arena.close()
         arena.close()
         arena.unlink()
-        with pytest.raises(Exception):
+        with pytest.raises(OSError):
             BddArena.attach(name)

@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bdd import BDD, CareSetError, constrain, generalized_cofactor, restrict
+from repro.bdd import BDD, BDDError, CareSetError, constrain, generalized_cofactor, restrict
 
 from ..conftest import random_function
 
@@ -100,7 +100,7 @@ class TestDispatch:
         assert generalized_cofactor(mgr, f, mgr.var("a"), "constrain") == mgr.ONE
 
     def test_dispatch_unknown(self, mgr):
-        with pytest.raises(Exception):
+        with pytest.raises(BDDError):
             generalized_cofactor(mgr, mgr.ONE, mgr.ONE, "bogus")
 
 

@@ -26,7 +26,7 @@ def all_assignments(names):
 def random_function(mgr: BDD, names, rng: random.Random, depth: int = 4) -> int:
     """A random BDD built from a random expression tree over ``names``."""
     if depth == 0 or rng.random() < 0.2:
-        leaf = rng.choice(list(names) + ["0", "1"])
+        leaf = rng.choice([*names, "0", "1"])
         if leaf == "0":
             return mgr.ZERO
         if leaf == "1":

@@ -324,7 +324,7 @@ class TestCli:
         )
         payload = json.loads(out.read_text())
         names = [c["benchmark"] for c in payload["circuits"]]
-        assert names == benchmark_keys("mcnc") + ["zz_extra"]
+        assert names == [*benchmark_keys("mcnc"), "zz_extra"]
 
     def test_batch_cache_policy_flag(self, capsys):
         from repro.experiments.cli import main as cli_main

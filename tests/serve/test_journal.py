@@ -272,8 +272,8 @@ def _spawn_server(journal: Path, extra: list[str] | None = None):
             "1",
             "--journal",
             str(journal),
-        ]
-        + (extra or []),
+            *(extra or []),
+        ],
         env=env,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE,

@@ -30,7 +30,7 @@ async def _with_service(test, **kwargs):
 
 
 class TestSubmissionKey:
-    ITEMS = [InputItem(name="alu2"), InputItem(name="f51m")]
+    ITEMS = (InputItem(name="alu2"), InputItem(name="f51m"))
 
     def test_key_ignores_workers_and_scheduling(self):
         """The determinism contract makes 1- and N-worker reports
