@@ -12,9 +12,11 @@ versus a reused :class:`~repro.flows.WarmPoolManager` pool, the
 content-hash result-cache lookup that answers an identical
 resubmission without synthesizing at all, sharded throughput (the same
 job set through a :class:`~repro.serve.ShardDispatcher` with 1 vs 3
-backends), and journal replay startup (restarting a server on a
-journal holding >= 50 finished jobs).  Results land in
-``BENCH_serve.json``.
+backends), journal replay startup (restarting a server on a journal
+holding >= 50 finished jobs), and the retry-overhead row (the same
+fault-free batch with the deadline/retry machinery and an armed but
+quiescent fault plan, which must stay byte-identical).  Results land
+in ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -192,6 +194,70 @@ def bench_warm_serving(
         "cache_hit_seconds": round(lookup_seconds, 6),
         "cache_hit_speedup": round(cold_mean / lookup_seconds, 1),
         "pool_stats": pool_stats,
+        "byte_identical": True,
+    }
+
+
+def bench_retry_overhead(
+    circuits: list[str], workers: int, repeats: int
+) -> dict:
+    """Cost of the fault-tolerant dispatch path on a fault-free batch.
+
+    The guarded run arms everything robustness adds — a per-circuit
+    deadline (generous enough never to fire), the retry budget, and an
+    installed fault plan whose rules never match — against the plain
+    configuration.  The contract: same bytes, negligible overhead.
+    """
+    from repro.faults import FaultPlan, install_plan
+
+    plain = BatchConfig(flow="bds-maj", workers=workers)
+    guarded = BatchConfig(
+        flow="bds-maj", workers=workers, circuit_timeout=600.0, max_retries=2
+    )
+    quiescent = FaultPlan.from_json(
+        json.dumps(
+            {
+                "seed": 7,
+                "faults": [
+                    {
+                        "site": "batch.worker",
+                        "action": "kill",
+                        "match": "bench-no-such-circuit:",
+                    }
+                ],
+            }
+        )
+    )
+
+    plain_runs: list[float] = []
+    expected = None
+    for _ in range(repeats):
+        report, seconds = _timed(lambda: run_batch(circuits, plain))
+        plain_runs.append(seconds)
+        expected = expected or report.to_json()
+        assert report.to_json() == expected
+
+    guarded_runs: list[float] = []
+    try:
+        for _ in range(repeats):
+            install_plan(quiescent)
+            report, seconds = _timed(lambda: run_batch(circuits, guarded))
+            guarded_runs.append(seconds)
+            assert report.to_json() == expected
+    finally:
+        install_plan(None)
+
+    plain_mean = statistics.mean(plain_runs)
+    guarded_mean = statistics.mean(guarded_runs)
+    return {
+        "circuits": list(circuits),
+        "workers": workers,
+        "repeats": repeats,
+        "plain_seconds": [round(s, 4) for s in plain_runs],
+        "guarded_seconds": [round(s, 4) for s in guarded_runs],
+        "plain_mean_seconds": round(plain_mean, 4),
+        "guarded_mean_seconds": round(guarded_mean, 4),
+        "overhead_percent": round((guarded_mean / plain_mean - 1.0) * 100, 2),
         "byte_identical": True,
     }
 
@@ -400,11 +466,18 @@ def main(argv: list[str] | None = None) -> int:
         f"({replay['jobs_per_second']} jobs/s, "
         f"{replay['rehydrated_cache_entries']} cache entries rehydrated)"
     )
+    retry = bench_retry_overhead(circuits, args.workers, repeats)
+    print(
+        f"retries   plain {retry['plain_mean_seconds'] * 1000:8.1f}ms  "
+        f"guarded {retry['guarded_mean_seconds'] * 1000:8.1f}ms  "
+        f"overhead {retry['overhead_percent']}%"
+    )
 
     results = {
         "warm_serving": entry,
         "sharded_throughput": sharded,
         "replay_startup": replay,
+        "retry_overhead": retry,
     }
     with open(args.output, "w") as sink:
         json.dump(results, sink, indent=2, sort_keys=True)

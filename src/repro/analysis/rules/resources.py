@@ -12,7 +12,11 @@ one sanctioned acquire/release idiom in this repository:
   crash loses an acknowledged submission (RES002);
 * pool construction/acquisition must be followed by a terminating
   error path (a ``with`` block or an immediate ``try``), or a raise
-  between acquire and release leaks live worker processes (RES003).
+  between acquire and release leaks live worker processes (RES003);
+* an awaited stream read in the serving layer must be bounded by
+  ``asyncio.wait_for`` (or carry a justified suppression), or one
+  silent peer pins a handler — and the resources behind it — forever
+  (RES004).
 """
 
 from __future__ import annotations
@@ -136,3 +140,55 @@ class UnguardedPoolAcquire(Rule):
             f".{node.func.attr}() result has no terminating error path; "
             "wrap in `with` or follow immediately with try/finally",
         )
+
+
+#: Stream-read coroutine methods of asyncio readers / subprocess pipes.
+_AWAITED_READ_METHODS = frozenset({"read", "readline", "readexactly", "readuntil"})
+
+
+@REGISTRY.register
+class UnboundedAwaitedRead(Rule):
+    """RES004: awaited stream read without an ``asyncio.wait_for`` bound."""
+
+    id = "RES004"
+    name = "unbounded-awaited-read"
+    severity = "error"
+    rationale = (
+        "an awaited socket/pipe read with no wait_for bound lets one "
+        "silent peer pin a serve handler (and its connection, job and "
+        "worker resources) forever; reads that are unbounded by design "
+        "carry a justified suppression"
+    )
+    modules = ("repro.serve",)
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in _AWAITED_READ_METHODS:
+            return
+        # Walk outward (innermost-first) toward the enclosing function:
+        # a wait_for call anywhere between the read and its await bounds
+        # it; an Await reached without one is the unbounded pattern.
+        # Synchronous reads (file.read() with no await) never match.
+        awaited = False
+        for ancestor in ctx.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                break
+            if isinstance(ancestor, ast.Await):
+                awaited = True
+                continue
+            if isinstance(ancestor, ast.Call):
+                dotted = ctx.resolve_call(ancestor)
+                if dotted == "asyncio.wait_for":
+                    return
+        if awaited:
+            yield self.finding(
+                ctx,
+                node,
+                f"awaited .{node.func.attr}() has no asyncio.wait_for "
+                "bound; a silent peer pins this handler forever",
+            )

@@ -36,6 +36,7 @@ import struct
 from multiprocessing import resource_tracker, shared_memory
 from typing import TYPE_CHECKING, Mapping
 
+from ..faults import inject as inject_fault
 from .manager import BDD
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
@@ -326,6 +327,7 @@ def attach_worker_arena(name: "str | BddArena | None") -> None:
         _worker_arena = name
         return
     try:
+        inject_fault("arena.attach", name)
         _worker_arena = BddArena.attach(name)
     except Exception:  # noqa: BLE001 - degraded mode beats a dead worker
         _worker_arena = None

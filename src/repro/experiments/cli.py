@@ -140,6 +140,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     batch.add_argument("--verify", action="store_true", help="equivalence-check outputs")
     batch.add_argument(
+        "--circuit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-circuit synthesis deadline; a circuit past it is "
+        "retried up to --max-retries times, then reported as a "
+        "deterministic error row (default: no deadline)",
+    )
+    batch.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=2,
+        metavar="N",
+        help="retries per circuit after a timeout or worker death "
+        "before the error row is final (default: 2)",
+    )
+    batch.add_argument(
         "--cache-policy",
         choices=list(CACHE_POLICIES),
         default="fifo",
@@ -253,6 +270,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="TOKEN",
         help="require 'Authorization: Bearer TOKEN' on every endpoint "
         "except /healthz (default: $BDSMAJ_AUTH_TOKEN; unset = no auth)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="times journal replay may (re)start one job before "
+        "quarantining it as a poison job (default: 3)",
     )
 
     shard = sub.add_parser(
@@ -423,6 +448,8 @@ def main(argv: list[str] | None = None) -> int:
             cache_policy=args.cache_policy,
             cache_capacity=args.cache_capacity,
             reorder=args.reorder,
+            circuit_timeout=args.circuit_timeout,
+            max_retries=args.max_retries,
         )
         report = run_batch(items, config, progress=_progress)
         if args.format == "csv":
@@ -487,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
             journal_path=args.journal,
             max_pending=args.max_pending,
             auth_token=args.auth_token,
+            max_attempts=args.max_attempts,
         )
     elif args.command == "shard":
         from ..serve import DEFAULT_IDLE_TIMEOUT, run_shard

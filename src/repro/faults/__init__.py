@@ -1,0 +1,37 @@
+"""Deterministic, environment-armed fault injection (see ``plan.py``).
+
+Off by default: with no plan installed, :func:`inject` is a single
+module-global ``None`` check.  Arm via the ``BDSMAJ_FAULT_PLAN``
+environment variable (crosses process boundaries) or
+:func:`install_plan` (same process / fork children).
+"""
+
+from .plan import (
+    ACTIONS,
+    ENV_VAR,
+    KNOWN_SITES,
+    FaultInjected,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    active,
+    arm_from_env,
+    current_plan,
+    inject,
+    install_plan,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ENV_VAR",
+    "KNOWN_SITES",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "active",
+    "arm_from_env",
+    "current_plan",
+    "inject",
+    "install_plan",
+]

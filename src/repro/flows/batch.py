@@ -38,7 +38,20 @@ Failure isolation
 -----------------
 A circuit that raises does not abort the batch: its report row carries
 ``status="error"`` and the exception text, and every other circuit is
-still synthesized.
+still synthesized.  The same holds for infrastructure failures: the
+parallel dispatcher polls every in-flight attempt (it never blocks on a
+single pool result), enforces the per-circuit wall-clock deadline
+(:attr:`BatchConfig.circuit_timeout`), and watches the pool's worker
+table for deaths — a SIGKILLed worker or a runaway sift pass costs
+bounded retries (:attr:`BatchConfig.max_retries`, deterministic
+exponential backoff) and, once exhausted, one ``status="error"`` row
+with ``reason="timeout"`` or ``reason="worker_died"``; it never hangs
+or sinks the batch.  Because a worker death does not say which circuit
+the victim was running, every in-flight attempt is charged one retry
+when a death is observed — surviving attempts keep running and their
+results still win, so the only cost is budget.  Error rows use
+deterministic text (a function of config and attempt count only), so
+the 1-vs-N byte-identity contract survives exhaustion too.
 
 Interruption and cancellation
 -----------------------------
@@ -55,6 +68,7 @@ jobs through.
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import csv
 import io
@@ -69,6 +83,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 from ..bdd.arena import attach_worker_arena, current_arena
 from ..bdd.manager import CACHE_POLICIES, DEFAULT_CACHE_CAPACITY, combine_cache_stats
 from ..benchgen import build_benchmark
+from ..faults import active as faults_active
+from ..faults import inject as inject_fault
 from ..network import BddSizeExceeded, check_equivalence, global_bdds
 from .bds import REORDER_POLICIES
 
@@ -137,6 +153,17 @@ class BatchConfig:
     #: byte-identical.  Ignored by the abc/dc flows, which do not
     #: reorder.
     reorder: str = "once"
+    #: Per-circuit wall-clock deadline in seconds (``None`` = none).  A
+    #: parallel batch abandons the attempt at the deadline and retries
+    #: or errors it; the serial path enforces the same budget post-hoc
+    #: (it cannot preempt itself) with identical report bytes.
+    circuit_timeout: float | None = None
+    #: Extra attempts a circuit gets after a timeout or a worker death
+    #: before finishing as ``status="error"`` (0 = fail fast).
+    max_retries: int = 2
+    #: Base seconds of the deterministic exponential retry backoff:
+    #: the retry after attempt ``n`` waits ``retry_backoff * 2**(n-1)``.
+    retry_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.flow not in BATCH_FLOWS:
@@ -155,6 +182,12 @@ class BatchConfig:
                 f"unknown reorder policy {self.reorder!r} "
                 f"(known: {REORDER_POLICIES})"
             )
+        if self.circuit_timeout is not None and self.circuit_timeout <= 0:
+            raise ValueError("circuit_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
 
 
 @dataclass
@@ -173,6 +206,11 @@ class CircuitReport:
     cache: dict[str, int | float] = field(default_factory=dict)
     verified: bool | None = None
     error: str | None = None
+    #: Machine-readable failure class for infrastructure errors
+    #: (``"timeout"`` | ``"worker_died"``); ``None`` for ok rows and
+    #: for ordinary circuit exceptions.  Serialized only when set, so
+    #: pre-existing report bytes are untouched.
+    reason: str | None = None
     #: Wall-clock synthesis time; nondeterministic, therefore excluded
     #: from serialized reports unless explicitly requested.
     seconds: float = 0.0
@@ -197,6 +235,8 @@ class CircuitReport:
             "verified": self.verified,
             "error": self.error,
         }
+        if self.reason is not None:
+            payload["reason"] = self.reason
         if include_timing:
             payload["seconds"] = self.seconds
         return payload
@@ -217,6 +257,7 @@ class CircuitReport:
             cache=dict(payload.get("cache") or {}),
             verified=payload.get("verified"),
             error=payload.get("error"),
+            reason=payload.get("reason"),
             seconds=float(payload.get("seconds", 0.0)),
         )
 
@@ -230,6 +271,12 @@ class BatchReport:
     #: True start-to-finish wall-clock of the batch (shrinks as workers
     #: are added); nondeterministic, so serialized only on request.
     elapsed_seconds: float = 0.0
+    #: Robustness-layer tallies, never serialized: they count retry
+    #: *events*, which depend on scheduling, not on the input.  The
+    #: serving layer folds them into ``/metrics`` counters.
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
 
     @property
     def ok_circuits(self) -> list[CircuitReport]:
@@ -420,6 +467,8 @@ def synthesize_one(
     config: BatchConfig,
     stage_progress: "Callable[[str, StageEvent], None] | None" = None,
     cancel: Callable[[], bool] | None = None,
+    *,
+    attempt: int = 1,
 ) -> CircuitReport:
     """Synthesize one circuit; never raises for circuit errors.
 
@@ -436,6 +485,11 @@ def synthesize_one(
     the serving layer streams per-stage progress from it; ``cancel`` is
     polled before every stage, raising :class:`BatchCancelled` mid-
     circuit instead of only between circuits.
+
+    ``attempt`` is the 1-based retry ordinal the dispatcher is on; it
+    never affects the result, only the fault-injection key
+    (``"<benchmark>:<attempt>"`` at site ``batch.worker``), so a chaos
+    plan can target exactly one attempt of one circuit.
     """
     from ..api import InputItem, StageEventExporter, get_pipeline
 
@@ -448,19 +502,24 @@ def synthesize_one(
         else (StageEventExporter(lambda event: stage_progress(benchmark, event)),)
     )
 
-    def check_cancel(_ctx, _stage) -> None:
+    def on_stage_start(_ctx, stage) -> None:
+        if faults_active():
+            inject_fault("batch.stage", f"{benchmark}:{getattr(stage, 'name', '')}")
         if cancel is not None and cancel():
             raise BatchCancelled(f"cancelled while synthesizing {benchmark!r}")
 
     start = time.perf_counter()
     try:
+        inject_fault("batch.worker", f"{benchmark}:{attempt}")
         network = _load_item(item)
         pipeline = get_pipeline(config.flow).optimize_prefix()
         ctx = pipeline.run_context(
             network,
             _flow_config(config),
             observers=observers,
-            on_stage_start=check_cancel if cancel is not None else None,
+            on_stage_start=(
+                on_stage_start if (cancel is not None or faults_active()) else None
+            ),
         )
         trace = ctx.scratch.get("trace")
         steps: dict[str, int] = {}
@@ -501,8 +560,9 @@ def synthesize_one(
         )
 
 
-def _pool_worker(args: "tuple[InputItem, BatchConfig]") -> CircuitReport:
-    return synthesize_one(*args)
+def _pool_worker(args: "tuple[InputItem, BatchConfig, int]") -> CircuitReport:
+    item, config, attempt = args
+    return synthesize_one(item, config, attempt=attempt)
 
 
 def _normalize_items(
@@ -612,35 +672,84 @@ class WarmPoolManager:
             self._sizes[id(pool)] = processes
         return pool
 
-    def _healthy(self, pool: multiprocessing.pool.Pool) -> bool:
-        try:
-            return bool(pool.apply_async(_pool_ping).get(timeout=self._ping_timeout))
-        except Exception:  # noqa: BLE001 - any failure means "replace it"
-            return False
+    def _ping_sweep(
+        self, candidates: "list[multiprocessing.pool.Pool]"
+    ) -> "tuple[list[multiprocessing.pool.Pool], list[multiprocessing.pool.Pool]]":
+        """Health-check every candidate pool *concurrently*.
+
+        Returns ``(healthy, dead)`` — dead includes pools whose ping
+        never answered.  One shared deadline bounds the whole sweep, so
+        ``k`` hung pools cost one ``ping_timeout``, not ``k`` of them
+        back to back (the old serial probe made a cold spawn cheaper
+        than inspecting a sick parking lot).
+        """
+        pings: list[tuple[multiprocessing.pool.Pool, multiprocessing.pool.AsyncResult]]
+        pings = []
+        dead: list[multiprocessing.pool.Pool] = []
+        healthy: list[multiprocessing.pool.Pool] = []
+        for pool in candidates:
+            try:
+                pings.append((pool, pool.apply_async(_pool_ping)))
+            except Exception:  # noqa: BLE001 - a broken pool is a dead pool
+                dead.append(pool)
+        wake = time.monotonic() + self._ping_timeout
+        while pings and time.monotonic() < wake:
+            still_waiting = []
+            for pool, ping in pings:
+                if ping.ready():
+                    try:
+                        ok = bool(ping.get(timeout=0))
+                    except Exception:  # noqa: BLE001 - crashed ping = dead
+                        ok = False
+                    (healthy if ok else dead).append(pool)
+                else:
+                    still_waiting.append((pool, ping))
+            pings = still_waiting
+            if pings:
+                time.sleep(0.01)
+        dead.extend(pool for pool, _ in pings)  # timed out: count as dead
+        return healthy, dead
 
     def acquire(self, processes: int) -> multiprocessing.pool.Pool:
         """A ready pool with ``processes`` workers (parked or fresh)."""
-        while True:
-            with self._lock:
-                if self._drained:
-                    raise RuntimeError("WarmPoolManager is drained")
-                parked = self._idle.get(processes)
-                pool = parked.pop() if parked else None
-            if pool is None:
-                with self._lock:
-                    self.cold_acquires += 1
-                return self._spawn(processes)
-            if self._healthy(pool):
-                with self._lock:
-                    self.warm_acquires += 1
-                return pool
-            # A parked pool died (OOM-killed worker, crashed interpreter):
-            # reap it and look for another — or fall through to a spawn.
+        with self._lock:
+            if self._drained:
+                raise RuntimeError("WarmPoolManager is drained")
+            candidates = list(self._idle.pop(processes, ()))
+        healthy, dead = self._ping_sweep(candidates) if candidates else ([], [])
+        for pool in dead:
+            # A parked pool died or hung (OOM-killed worker, crashed
+            # interpreter): reap it and count the replacement.
             with self._lock:
                 self.respawns += 1
                 self._sizes.pop(id(pool), None)
             pool.terminate()
             pool.join()
+        # Most recently parked first (warmest caches), like the old
+        # LIFO pop; the rest go back on the lot unless a concurrent
+        # drain() won the race, in which case they are torn down too.
+        chosen = healthy.pop() if healthy else None
+        with self._lock:
+            drained = self._drained
+            if not drained and healthy:
+                self._idle.setdefault(processes, [])[:0] = healthy
+                healthy = []
+        if drained:
+            if chosen is not None:
+                healthy.append(chosen)
+            for pool in healthy:
+                with self._lock:
+                    self._sizes.pop(id(pool), None)
+                pool.terminate()
+                pool.join()
+            raise RuntimeError("WarmPoolManager is drained")
+        if chosen is not None:
+            with self._lock:
+                self.warm_acquires += 1
+            return chosen
+        with self._lock:
+            self.cold_acquires += 1
+        return self._spawn(processes)
 
     def release(self, pool: multiprocessing.pool.Pool) -> None:
         """Park a pool whose batch completed cleanly."""
@@ -712,7 +821,9 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 @contextlib.contextmanager
 def batch_pool(
-    processes: int, manager: WarmPoolManager | None = None
+    processes: int,
+    manager: WarmPoolManager | None = None,
+    tainted: Callable[[], bool] | None = None,
 ) -> "Iterator[multiprocessing.pool.Pool]":
     """Worker-pool lifecycle shared by :func:`run_batch` and the serving
     layer.
@@ -726,8 +837,15 @@ def batch_pool(
     With a :class:`WarmPoolManager` (the serving mode): the pool is
     acquired from — and on a clean exit released back to — the manager,
     staying warm for the next batch; on an exception it is discarded
-    (terminated), because a pool torn out of ``imap`` mid-flight is not
+    (terminated), because a pool torn out of a batch mid-flight is not
     safe to reuse.
+
+    ``tainted`` is the dispatcher's exit report: when it returns true on
+    a clean exit, the pool saw a worker death or abandoned a
+    deadline-expired attempt, so its result cache holds entries no task
+    will ever complete — ``close()``/``join()`` would hang forever (and
+    parking it warm would hand the hang to the next job).  Such a pool
+    is terminated (one-shot) or discarded (managed) instead.
     """
     if manager is not None:
         pool = manager.acquire(processes)
@@ -737,7 +855,10 @@ def batch_pool(
             manager.discard(pool)
             raise
         else:
-            manager.release(pool)
+            if tainted is not None and tainted():
+                manager.discard(pool)
+            else:
+                manager.release(pool)
         return
     pool = _pool_context().Pool(processes=processes, initializer=_init_pool_worker)
     try:
@@ -749,13 +870,179 @@ def batch_pool(
         pool.join()
         raise
     else:
-        pool.close()
+        if tainted is not None and tainted():
+            pool.terminate()
+        else:
+            pool.close()
         pool.join()
 
 
-#: How often (seconds) a cancellable parallel batch wakes up to poll its
-#: ``cancel`` hook while waiting for the next pool result.
+#: How often (seconds) the parallel dispatcher wakes up to poll flight
+#: results, deadlines, worker health and the ``cancel`` hook.
 _CANCEL_POLL_SECONDS = 0.1
+
+
+class _PoolWatch:
+    """Observes pool worker deaths between dispatcher polls.
+
+    ``multiprocessing.Pool`` transparently respawns a killed worker
+    (its ``_maintain_pool`` thread), but the task the victim was running
+    is lost forever — its ``AsyncResult`` never completes, which is
+    exactly the hang the old ``next(results)`` consumption suffered.
+    Sampling the pool's worker table between polls is the sentinel that
+    turns that silent loss into a retryable event.
+    """
+
+    def __init__(self, pool: multiprocessing.pool.Pool) -> None:
+        self._pool = pool
+        self._live = self._snapshot()
+
+    def _snapshot(self) -> set[int]:
+        workers = list(getattr(self._pool, "_pool", None) or ())  # noqa: SLF001
+        return {proc.pid for proc in workers if proc.exitcode is None}
+
+    def poll(self) -> int:
+        """Worker deaths observed since the last call."""
+        current = self._snapshot()
+        died = len(self._live - current)
+        self._live = current
+        return died
+
+
+@dataclass
+class _Flight:
+    """Dispatch state of one circuit in a parallel batch."""
+
+    index: int
+    item: "InputItem"
+    #: "queued" (never launched) | "running" (attempt in flight) |
+    #: "backoff" (attempt failed, waiting out the retry gate); finished
+    #: flights leave the table instead of carrying a state.
+    state: str = "queued"
+    #: Attempts launched so far (1-based once running).
+    attempts: int = 0
+    #: Outstanding ``AsyncResult``s.  More than one after a worker-death
+    #: retry: the original attempt may still be alive on a surviving
+    #: worker, and whichever attempt completes first wins.
+    results: "list[multiprocessing.pool.AsyncResult]" = field(default_factory=list)
+    #: ``time.monotonic()`` of the latest launch (deadline base).
+    attempt_started: float = 0.0
+    #: Earliest ``time.monotonic()`` the next retry may launch.
+    retry_at: float = 0.0
+
+
+def _retry_error(reason: str, attempts: int, config: BatchConfig) -> str:
+    """Deterministic error text for an exhausted circuit — a pure
+    function of config and attempt count, so serial and parallel
+    batches (and every worker count) emit byte-identical error rows."""
+    if reason == "timeout":
+        return (
+            f"TimeoutError: exceeded circuit_timeout={config.circuit_timeout:g}s "
+            f"on {attempts} attempt(s)"
+        )
+    return f"WorkerLost: worker process died during synthesis ({attempts} attempt(s))"
+
+
+def _exhausted_report(
+    item: "InputItem", config: BatchConfig, reason: str, attempts: int
+) -> CircuitReport:
+    return CircuitReport(
+        benchmark=item.name,
+        flow=config.flow,
+        status="error",
+        error=_retry_error(reason, attempts, config),
+        reason=reason,
+    )
+
+
+def _launch(
+    workers: multiprocessing.pool.Pool, flight: _Flight, config: BatchConfig
+) -> None:
+    flight.attempts += 1
+    flight.state = "running"
+    flight.attempt_started = time.monotonic()
+    flight.results.append(
+        workers.apply_async(_pool_worker, ((flight.item, config, flight.attempts),))
+    )
+
+
+def _collect(flight: _Flight, config: BatchConfig) -> CircuitReport | None:
+    """First completed attempt of ``flight``, if any.
+
+    :func:`synthesize_one` never raises for circuit errors, so a raising
+    ``AsyncResult`` means the task itself broke (unpicklable item, pool
+    machinery); it is folded into an error row with the same
+    failure-isolation contract as in-circuit exceptions.
+    """
+    for result in flight.results:
+        if not result.ready():
+            continue
+        try:
+            return result.get(timeout=0)
+        except Exception as exc:  # noqa: BLE001 - failure isolation by design
+            return CircuitReport(
+                benchmark=flight.item.name,
+                flow=config.flow,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+    return None
+
+
+def _attempt_failed(
+    flight: _Flight,
+    reason: str,
+    config: BatchConfig,
+    now: float,
+    report: BatchReport,
+) -> CircuitReport | None:
+    """One attempt of ``flight`` failed (``"timeout"`` or
+    ``"worker_died"``): either gate the deterministic-backoff retry
+    (returns ``None``) or exhaust the budget into an error row."""
+    if reason == "timeout":
+        report.timeouts += 1
+        # The deadline voids the attempt: a straggler finishing late
+        # must not race its own retry, or near-deadline circuits would
+        # flap between outcomes run to run.
+        flight.results.clear()
+    if flight.attempts >= config.max_retries + 1:
+        return _exhausted_report(flight.item, config, reason, flight.attempts)
+    flight.state = "backoff"
+    flight.retry_at = now + config.retry_backoff * (2 ** (flight.attempts - 1))
+    return None
+
+
+def _synthesize_serial(
+    item: "InputItem",
+    config: BatchConfig,
+    stage_progress: "Callable[[str, StageEvent], None] | None",
+    cancel: Callable[[], bool] | None,
+    report: BatchReport,
+) -> CircuitReport:
+    """One circuit on the serial path, honoring the same deadline and
+    retry budget as the pool path.
+
+    A single-process batch cannot preempt itself, so the deadline is
+    enforced post-hoc — a runaway circuit still runs to completion but
+    is *reported* exactly as the parallel path reports it: same attempt
+    budget, same deterministic error text, keeping serial and parallel
+    reports byte-identical for circuits whose runtime is not sitting on
+    the deadline itself.
+    """
+    deadline = config.circuit_timeout
+    attempt = 1
+    while True:
+        circuit = synthesize_one(
+            item, config, stage_progress=stage_progress, cancel=cancel, attempt=attempt
+        )
+        if deadline is None or circuit.seconds < deadline:
+            return circuit
+        report.timeouts += 1
+        if attempt >= config.max_retries + 1:
+            return _exhausted_report(item, config, "timeout", attempt)
+        report.retries += 1
+        time.sleep(config.retry_backoff * (2 ** (attempt - 1)))
+        attempt += 1
 
 
 def run_batch(
@@ -788,8 +1075,8 @@ def run_batch(
     ``pool`` is the warm-serving seam: a caller-owned
     :class:`WarmPoolManager` whose parked pools are reused instead of
     spawning a fresh pool per batch.  The report stays byte-identical —
-    ``imap`` ordering and per-circuit determinism do not depend on how
-    the pool was obtained.
+    results are collected into input-order slots, and per-circuit
+    determinism does not depend on how the pool was obtained.
     """
     if config is None:
         config = BatchConfig()
@@ -820,31 +1107,104 @@ def run_batch(
     if config.workers == 1 or len(items) <= 1:
         for item in items:
             check_cancel()
-            circuit = synthesize_one(
-                item, config, stage_progress=stage_progress, cancel=cancel
-            )
+            circuit = _synthesize_serial(item, config, stage_progress, cancel, report)
             note(circuit)
             report.circuits.append(circuit)
-    else:
-        jobs = [(item, config) for item in items]
-        with batch_pool(min(config.workers, len(jobs)), manager=pool) as workers:
-            # imap preserves input order, so the report never depends
-            # on which worker finishes first.
-            results = workers.imap(_pool_worker, jobs)
-            while True:
-                check_cancel()
-                try:
-                    if cancel is None:
-                        circuit = next(results)
-                    else:
-                        # Short-timeout polling keeps cancellation
-                        # responsive even mid-circuit.
-                        circuit = results.next(timeout=_CANCEL_POLL_SECONDS)
-                except StopIteration:
-                    break
-                except multiprocessing.TimeoutError:
+        report.elapsed_seconds = time.perf_counter() - batch_start
+        return report
+
+    # Parallel: deadline-aware dispatch.  Every circuit is a _Flight
+    # polled with ready() — the loop never blocks on a single pool
+    # result, so a SIGKILLed worker or a runaway circuit stalls one
+    # flight, never the batch.  Results land in input-order slots, so
+    # neither completion order nor retries can perturb report bytes;
+    # progress lines still stream in input order as the prefix fills.
+    cap = min(config.workers, len(items))
+    deadline = config.circuit_timeout
+
+    def pool_tainted() -> bool:
+        return report.worker_deaths > 0 or report.timeouts > 0
+
+    with batch_pool(cap, manager=pool, tainted=pool_tainted) as workers:
+        watch = _PoolWatch(workers)
+        slots: list[CircuitReport | None] = [None] * len(items)
+        flights: dict[int, _Flight] = {
+            index: _Flight(index=index, item=item)
+            for index, item in enumerate(items)
+        }
+        backlog = collections.deque(flights.values())
+        active = 0  # flights in state "running" (attempt window <= cap)
+        noted = 0
+
+        def launch_due(now: float) -> None:
+            """Fill free attempt slots: backoff-expired retries first
+            (oldest work), then fresh circuits in input order.  Capping
+            concurrent attempts at the pool size keeps queue wait out
+            of the deadline clock — a dispatched attempt is (about to
+            be) running, so ``attempt_started`` measures work."""
+            nonlocal active
+            for flight in flights.values():
+                if active >= cap:
+                    return
+                if flight.state == "backoff" and now >= flight.retry_at:
+                    report.retries += 1
+                    _launch(workers, flight, config)
+                    active += 1
+            while backlog and active < cap:
+                flight = backlog.popleft()
+                if flight.state == "queued":
+                    _launch(workers, flight, config)
+                    active += 1
+
+        launch_due(time.monotonic())
+        while flights:
+            check_cancel()
+            now = time.monotonic()
+            progressed = False
+            for flight in list(flights.values()):
+                if flight.state != "running":
                     continue
-                note(circuit)
-                report.circuits.append(circuit)
+                circuit = _collect(flight, config)
+                if (
+                    circuit is None
+                    and deadline is not None
+                    and now - flight.attempt_started >= deadline
+                ):
+                    circuit = _attempt_failed(flight, "timeout", config, now, report)
+                if circuit is not None:
+                    slots[flight.index] = circuit
+                    del flights[flight.index]
+                    active -= 1
+                    progressed = True
+                elif flight.state != "running":
+                    active -= 1  # attempt ended; flight is backing off
+            deaths = watch.poll()
+            if deaths:
+                report.worker_deaths += deaths
+                now = time.monotonic()
+                # The pool cannot say which flight the victim was
+                # running, so every in-flight attempt is charged one
+                # failure; surviving originals keep their AsyncResults
+                # and still win if they complete first.
+                for flight in list(flights.values()):
+                    if flight.state != "running":
+                        continue
+                    circuit = _attempt_failed(
+                        flight, "worker_died", config, now, report
+                    )
+                    if circuit is not None:
+                        slots[flight.index] = circuit
+                        del flights[flight.index]
+                    active -= 1
+                progressed = True
+            launch_due(time.monotonic())
+            while noted < len(slots) and slots[noted] is not None:
+                note(slots[noted])  # type: ignore[arg-type]
+                noted += 1
+            if flights and not progressed:
+                time.sleep(_CANCEL_POLL_SECONDS)
+        report.circuits.extend(
+            circuit for circuit in slots if circuit is not None
+        )
     report.elapsed_seconds = time.perf_counter() - batch_start
     return report

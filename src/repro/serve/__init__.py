@@ -68,6 +68,7 @@ from .jobs import (
     DEFAULT_EVENT_CAP,
     DONE,
     ERROR,
+    QUARANTINED,
     QUEUED,
     RUNNING,
     TERMINAL_STATES,
@@ -105,6 +106,7 @@ __all__ = [
     "DEFAULT_RESULT_CACHE_SIZE",
     "DONE",
     "ERROR",
+    "QUARANTINED",
     "QUEUED",
     "RUNNING",
     "SCHEMA",

@@ -3,7 +3,8 @@
 A :class:`Job` is one submitted synthesis request: a
 :class:`JobRequest` (flow, per-request knobs, priority), the resolved
 :class:`~repro.api.InputItem` list it will synthesize, a state machine
-(``queued → running → done | error | cancelled``), an append-only event
+(``queued → running → done | error | cancelled``, plus ``quarantined``
+for poison jobs parked by journal replay), an append-only event
 log (the wire payloads the ``/jobs/<id>/events`` endpoint streams), and
 — once finished — the :class:`~repro.flows.BatchReport` whose
 serialization is byte-identical to what :func:`repro.flows.run_batch`
@@ -40,9 +41,13 @@ RUNNING = "running"
 DONE = "done"
 ERROR = "error"
 CANCELLED = "cancelled"
+#: Poison-job parking state: the journal shows this job was (re)started
+#: ``max_attempts`` times without ever reaching a terminal record, so
+#: replay refuses to enqueue it again (it crash-looped the service).
+QUARANTINED = "quarantined"
 
 #: States a job never leaves.
-TERMINAL_STATES = frozenset({DONE, ERROR, CANCELLED})
+TERMINAL_STATES = frozenset({DONE, ERROR, CANCELLED, QUARANTINED})
 
 #: Default cap on wire events retained per *finished* job.  A
 #: long-lived server accumulates per-stage/per-circuit progress lines
@@ -115,6 +120,11 @@ class Job:
         self.events: list[dict] = []
         #: Events dropped from the *front* of the log by truncation.
         self.events_dropped = 0
+        #: Times this job has been started: 1 for the original
+        #: submission, +1 for every journal replay that re-enqueued it
+        #: (attempt records).  The quarantine gate compares it against
+        #: the service's ``max_attempts``.
+        self.attempts = 1
         #: Invoked (on the loop thread) the moment the job reaches a
         #: terminal state — the store's journal write-through hook.
         self.on_terminal: Callable[[Job], None] | None = None
@@ -183,6 +193,22 @@ class Job:
     def mark_cancelled(self) -> None:
         self.state = CANCELLED
         self.add_event({"type": "state", "status": CANCELLED})
+        self._truncate_events()
+        self._notify_terminal()
+
+    def mark_quarantined(self, error: str) -> None:
+        """Park a poison job: terminal, never re-enqueued, with the
+        attempt count on the record so operators can see the history."""
+        self.error = error
+        self.state = QUARANTINED
+        self.add_event(
+            {
+                "type": "state",
+                "status": QUARANTINED,
+                "attempts": self.attempts,
+                "error": error,
+            }
+        )
         self._truncate_events()
         self._notify_terminal()
 
@@ -302,7 +328,10 @@ class JobStore:
 
     def counts(self) -> dict[str, int]:
         """Job tally by state (the health endpoint's queue gauge)."""
-        tally = {state: 0 for state in (QUEUED, RUNNING, DONE, ERROR, CANCELLED)}
+        tally = {
+            state: 0
+            for state in (QUEUED, RUNNING, DONE, ERROR, CANCELLED, QUARANTINED)
+        }
         for job in self._jobs.values():
             tally[job.state] += 1
         return tally

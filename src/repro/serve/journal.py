@@ -4,8 +4,8 @@ The serving layer's job store is in-memory by default — a restart loses
 every finished report and evicts every result-cache entry.  With
 ``bdsmaj serve --journal PATH`` the :class:`JobStore` writes through a
 :class:`JobJournal`: one fsync'd NDJSON record per state change
-(``submit`` / ``finish`` / ``error`` / ``cancel``), so that on startup
-the server replays the file and
+(``submit`` / ``attempt`` / ``finish`` / ``error`` / ``cancel`` /
+``quarantine``), so that on startup the server replays the file and
 
 * restores every finished job — its ``/jobs/<id>/result`` bytes are
   **identical** to what the pre-crash server returned (the journaled
@@ -16,6 +16,16 @@ the server replays the file and
 * re-enqueues jobs that were submitted but never finished — a crash
   mid-batch loses no work, the interrupted jobs simply run again under
   their original ids.
+
+Poison jobs are the exception to that last point: every re-enqueue is
+journaled as an ``attempt`` record *before* the job runs again, so a
+job that crashes the service on every run accumulates evidence across
+restarts.  Once its start count reaches the service's
+``--max-attempts``, replay parks it as ``quarantined`` (a terminal
+``quarantine`` record) instead of re-enqueueing — ending the restart
+crash loop while keeping the job inspectable via ``/jobs/<id>``.
+Both record kinds are *skipped* by older readers' replay switch, so
+the journal version is unchanged.
 
 Record framing
 --------------
@@ -53,8 +63,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from ..faults import inject as inject_fault
 from ..flows.batch import BatchReport
-from .jobs import CANCELLED, DONE, ERROR, JobRequest
+from .jobs import CANCELLED, DONE, ERROR, QUARANTINED, JobRequest
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from .jobs import Job
@@ -80,13 +91,18 @@ class ReplayedJob:
     #: Display names of the resolved items (the journal does not store
     #: file contents; unfinished jobs re-resolve from the request).
     item_names: list[str]
-    #: Terminal state (``done`` / ``error`` / ``cancelled``) or ``None``
-    #: for a job that was submitted but never finished — the crash
-    #: interrupted it, and the server re-enqueues it on replay.
+    #: Terminal state (``done`` / ``error`` / ``cancelled`` /
+    #: ``quarantined``) or ``None`` for a job that was submitted but
+    #: never finished — the crash interrupted it, and the server
+    #: re-enqueues (or, past ``max_attempts``, quarantines) it on
+    #: replay.
     state: str | None = None
     report: BatchReport | None = None
     cache_key: str | None = None
     error: str | None = None
+    #: Times this job has been started (submit = 1, plus one per
+    #: journaled ``attempt`` record) — the quarantine gate's evidence.
+    attempts: int = 1
 
 
 @dataclass
@@ -290,6 +306,26 @@ class JobJournal:
                     continue
                 job.state = CANCELLED
                 self._terminal.add(job_id)
+            elif kind == "attempt":
+                job = jobs.get(job_id)
+                if job is None:
+                    continue
+                try:
+                    count = int(record.get("count", job.attempts + 1))
+                except (TypeError, ValueError):
+                    continue
+                job.attempts = max(job.attempts, count)
+            elif kind == "quarantine":
+                job = jobs.get(job_id)
+                if job is None:
+                    continue
+                job.state = QUARANTINED
+                job.error = str(record.get("error") or "quarantined")
+                try:
+                    job.attempts = max(job.attempts, int(record.get("attempts", 1)))
+                except (TypeError, ValueError):
+                    pass
+                self._terminal.add(job_id)
         result.jobs = list(jobs.values())
         for job in result.jobs:
             number = _job_number(job.id)
@@ -311,6 +347,21 @@ class JobJournal:
                 "id": job.id,
                 "request": _request_payload(job.request),
                 "items": [item.name for item in job.items],
+            }
+        )
+
+    def record_attempt(self, job: "Job") -> None:
+        """Journal a replay re-enqueue *before* the job runs again: a
+        job that crashes the service on every run accumulates one
+        ``attempt`` record per restart, the quarantine gate's evidence."""
+        if job.id not in self._submitted or job.id in self._terminal:
+            return
+        self._append(
+            {
+                "v": JOURNAL_VERSION,
+                "type": "attempt",
+                "id": job.id,
+                "count": job.attempts,
             }
         )
 
@@ -336,6 +387,14 @@ class JobJournal:
                 "id": job.id,
                 "error": job.error or "unknown error",
             }
+        elif job.state == QUARANTINED:
+            record = {
+                "v": JOURNAL_VERSION,
+                "type": "quarantine",
+                "id": job.id,
+                "attempts": job.attempts,
+                "error": job.error or "crash-looped the service",
+            }
         else:
             record = {"v": JOURNAL_VERSION, "type": "cancel", "id": job.id}
         self._append(record)
@@ -343,6 +402,7 @@ class JobJournal:
     def _append(self, record: dict[str, Any]) -> None:
         if self._file is None:
             raise JournalError("journal is not open")
+        inject_fault("journal.append", str(record.get("type", "")))
         line = _encode_record(record)
         self._file.write(line)
         self._file.flush()
@@ -387,6 +447,19 @@ class JobJournal:
                         }
                     )
                 )
+                if job.attempts > 1:
+                    # Keep the start count: the quarantine gate must
+                    # still see the history after a rewrite.
+                    sink.write(
+                        _encode_record(
+                            {
+                                "v": JOURNAL_VERSION,
+                                "type": "attempt",
+                                "id": job.id,
+                                "count": job.attempts,
+                            }
+                        )
+                    )
                 if job.state == DONE and job.report is not None:
                     sink.write(
                         _encode_record(
@@ -407,6 +480,18 @@ class JobJournal:
                                 "type": "error",
                                 "id": job.id,
                                 "error": job.error or "unknown error",
+                            }
+                        )
+                    )
+                elif job.state == QUARANTINED:
+                    sink.write(
+                        _encode_record(
+                            {
+                                "v": JOURNAL_VERSION,
+                                "type": "quarantine",
+                                "id": job.id,
+                                "attempts": job.attempts,
+                                "error": job.error or "crash-looped the service",
                             }
                         )
                     )

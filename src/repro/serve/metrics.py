@@ -14,7 +14,11 @@ aggregates what an operator watches on a warm server:
   (when ``--journal`` is on);
 * per-stage latency — fixed-bucket histograms per job lifecycle stage
   (``resolve``, ``queue_wait``, ``run``) with count/min/mean/max *and*
-  p50/p90/p99 estimates, recorded by the queue and submit paths.
+  p50/p90/p99 estimates, recorded by the queue and submit paths;
+* fault-tolerance counters — named monotonic counters (circuit
+  retries/timeouts, worker deaths, quarantined jobs) recorded by the
+  queue runner and journal replay, summable across shards exactly like
+  the histograms.
 
 The histogram buckets are fixed and log-spaced (1 ms .. 60 s, plus an
 overflow bucket), so two servers' — or two shards' — histograms can be
@@ -117,6 +121,21 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._stages: dict[str, _StageHistogram] = {}
+        self._counters: dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Bump a named monotonic counter (no-op for ``amount=0``, so
+        callers can pass report tallies unconditionally)."""
+        if not amount:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counters(self) -> dict[str, int]:
+        """All named counters, sorted by name (mergeable across shards
+        by plain per-key addition)."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
 
     def observe(self, stage: str, seconds: float) -> None:
         """Record one latency sample for a lifecycle ``stage``."""
@@ -156,5 +175,6 @@ class ServiceMetrics:
             "worker_pools": pool_stats,
             "arena": arena_info,
             "journal": journal_stats,
+            "counters": self.counters(),
             "stages": self.stage_summaries(),
         }

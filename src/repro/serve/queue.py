@@ -134,6 +134,12 @@ class JobQueue:
             if self.metrics is not None:
                 self.metrics.observe("run", time.perf_counter() - run_started)
             if outcome == "done":
+                if self.metrics is not None:
+                    # Fault-tolerance tallies off the report (inc(0) is
+                    # a no-op, so a clean run costs nothing).
+                    self.metrics.inc("circuit_retries", value.retries)
+                    self.metrics.inc("circuit_timeouts", value.timeouts)
+                    self.metrics.inc("worker_deaths", value.worker_deaths)
                 job.finish(value)
                 # Retain only fully-ok reports: a per-circuit error row
                 # *should* be deterministic, but pinning one forever on

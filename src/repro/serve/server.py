@@ -58,7 +58,16 @@ from ..benchgen import build_benchmark
 from ..flows.batch import WarmPoolManager
 from ..network import global_bdds
 from .cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache, submission_key
-from .jobs import DEFAULT_EVENT_CAP, DONE, ERROR, QUEUED, Job, JobRequest, JobStore
+from .jobs import (
+    DEFAULT_EVENT_CAP,
+    DONE,
+    ERROR,
+    QUARANTINED,
+    QUEUED,
+    Job,
+    JobRequest,
+    JobStore,
+)
 from .journal import DEFAULT_COMPACT_BYTES, JobJournal, ReplayResult
 from .metrics import ServiceMetrics
 from .queue import JobQueue
@@ -371,6 +380,7 @@ class SynthesisService(AsyncHttpServer):
         journal_compact_bytes: int = DEFAULT_COMPACT_BYTES,
         max_pending: int | None = None,
         auth_token: str | None = None,
+        max_attempts: int = 3,
     ) -> None:
         """``idle_timeout=None`` disables read timeouts;
         ``result_cache_size=None``/``0`` disables result caching;
@@ -382,9 +392,14 @@ class SynthesisService(AsyncHttpServer):
         store durable (append-only NDJSON, replayed on :meth:`start`);
         ``max_pending`` bounds the queued-job backlog (overflow answers
         429 with ``Retry-After``); ``auth_token`` requires ``Bearer``
-        auth on every endpoint except ``/healthz``."""
+        auth on every endpoint except ``/healthz``; ``max_attempts``
+        caps how many times journal replay will (re)start one job — a
+        job whose attempt records reach the cap is quarantined instead
+        of re-enqueued, ending a restart crash loop."""
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None)")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.journal = (
             JobJournal(
                 journal_path,
@@ -414,6 +429,7 @@ class SynthesisService(AsyncHttpServer):
             host=host, port=port, idle_timeout=idle_timeout, auth_token=auth_token
         )
         self._max_pending = max_pending
+        self._max_attempts = max_attempts
         self.last_replay: ReplayResult | None = None
         self._arena_circuits = tuple(arena_circuits or ())
         self._arena_max_nodes = arena_max_nodes
@@ -443,11 +459,33 @@ class SynthesisService(AsyncHttpServer):
         """Replay the journal into the store: finished jobs come back
         with their exact reports (rehydrating the result cache), jobs
         the crash interrupted are re-enqueued under their original ids.
+
+        Re-enqueueing is bounded: each replay re-enqueue journals an
+        ``attempt`` record first, and a job whose start count has
+        already reached ``max_attempts`` is quarantined instead — a
+        poison job that kills the service on every run must not keep
+        killing it on every restart.
         """
         result = self.journal.open()
         self.last_replay = result
         for replayed in result.jobs:
             if replayed.state is None:
+                if replayed.attempts >= self._max_attempts:
+                    # Poison job: it was started max_attempts times
+                    # without ever reaching a terminal record.  Park it
+                    # (terminal, inspectable) instead of re-enqueueing —
+                    # and do not even re-resolve its inputs.
+                    items = [InputItem(name=name) for name in replayed.item_names]
+                    job = Job(replayed.id, replayed.request, items)
+                    self.store.adopt(job, next_id=result.next_id)
+                    job.attempts = replayed.attempts
+                    job.add_event({"type": "replayed", "resubmitted": False})
+                    job.mark_quarantined(
+                        f"quarantined after {replayed.attempts} attempt(s): "
+                        "the job never finished before a service restart"
+                    )
+                    self.metrics.inc("jobs_quarantined")
+                    continue
                 # Interrupted mid-run: re-resolve and run it again.
                 try:
                     items = self._resolve_items(replayed.request)
@@ -455,6 +493,7 @@ class SynthesisService(AsyncHttpServer):
                     items = [InputItem(name=name) for name in replayed.item_names]
                     job = Job(replayed.id, replayed.request, items)
                     self.store.adopt(job, next_id=result.next_id)
+                    job.attempts = replayed.attempts
                     job.add_event({"type": "replayed", "resubmitted": False})
                     job.fail(f"journal replay could not re-resolve inputs: {exc}")
                     continue
@@ -465,6 +504,7 @@ class SynthesisService(AsyncHttpServer):
                     event_cap=self.store._event_cap,  # noqa: SLF001 - own module
                 )
                 self.store.adopt(job, next_id=result.next_id)
+                job.attempts = replayed.attempts
                 job.cache_key = (
                     submission_key(items, replayed.request.batch_config())
                     if self.result_cache is not None
@@ -483,6 +523,10 @@ class SynthesisService(AsyncHttpServer):
                     job.add_event({"type": "replayed", "resubmitted": False})
                     job.finish(cached)
                     continue
+                # This re-enqueue is one more start; journal it *before*
+                # the job runs so the evidence survives another crash.
+                job.attempts = replayed.attempts + 1
+                self.journal.record_attempt(job)
                 job.add_event({"type": "replayed", "resubmitted": True})
                 self.queue.submit(job)
                 continue
@@ -494,6 +538,7 @@ class SynthesisService(AsyncHttpServer):
                 event_cap=self.store._event_cap,  # noqa: SLF001 - own module
             )
             self.store.adopt(job, next_id=result.next_id)
+            job.attempts = replayed.attempts
             job.cache_key = replayed.cache_key
             job.add_event({"type": "replayed", "resubmitted": False})
             if replayed.state == DONE and replayed.report is not None:
@@ -506,6 +551,8 @@ class SynthesisService(AsyncHttpServer):
                     self.result_cache.put(replayed.cache_key, replayed.report)
             elif replayed.state == ERROR:
                 job.fail(replayed.error or "unknown error")
+            elif replayed.state == QUARANTINED:
+                job.mark_quarantined(replayed.error or "crash-looped the service")
             else:
                 job.mark_cancelled()
 
@@ -861,6 +908,7 @@ async def _serve_until_stopped(
     journal_path: "str | os.PathLike | None" = None,
     max_pending: int | None = None,
     auth_token: str | None = None,
+    max_attempts: int = 3,
 ) -> None:
     service = SynthesisService(
         host=host,
@@ -875,6 +923,7 @@ async def _serve_until_stopped(
         journal_path=journal_path,
         max_pending=max_pending,
         auth_token=auth_token,
+        max_attempts=max_attempts,
     )
     bound_host, bound_port = await service.start()
     if service._arena_info:  # noqa: SLF001 - own module
@@ -926,6 +975,7 @@ def run_server(
     journal_path: "str | os.PathLike | None" = None,
     max_pending: int | None = None,
     auth_token: str | None = None,
+    max_attempts: int = 3,
 ) -> int:
     """Blocking entry point behind ``bdsmaj serve``.
 
@@ -951,6 +1001,7 @@ def run_server(
             journal_path=journal_path,
             max_pending=max_pending,
             auth_token=auth_token,
+            max_attempts=max_attempts,
         )
     )
     return 0

@@ -28,7 +28,17 @@ API in front of them:
   meaningful to merge.
 
 A supervisor task health-checks every backend (``/healthz`` probes plus
-exit detection) and respawns dead ones.  With ``--journal-dir`` each
+exit detection) and respawns dead ones — behind a per-backend **circuit
+breaker**: a backend that dies again shortly after each respawn (within
+``rapid_failure_seconds``, ``breaker_threshold`` times in a row) stops
+being respawned eagerly.  Its breaker *opens* for an exponentially
+growing backoff (``breaker_base_seconds`` doubling up to
+``breaker_max_seconds``), then a single *half-open* probe respawn runs;
+only a probe that survives the rapid-failure window *closes* the
+breaker again.  A crash-looping shard therefore costs a bounded respawn
+rate instead of a tight fork loop, while its requests answer 503 +
+``Retry-After`` exactly like any restarting shard.  With
+``--journal-dir`` each
 backend keeps its own journal, so a respawned backend replays its jobs
 — finished reports come back byte-identical, interrupted jobs re-run —
 and the namespaced ids the dispatcher handed out stay valid across the
@@ -73,6 +83,25 @@ DEFAULT_HEALTH_INTERVAL = 1.0
 #: Consecutive failed ``/healthz`` probes before a live-but-unresponsive
 #: backend is killed and respawned.
 HEALTH_FAILURE_LIMIT = 3
+
+#: Consecutive rapid failures before a backend's breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: First open-breaker backoff (seconds); doubles per consecutive open.
+DEFAULT_BREAKER_BASE_SECONDS = 1.0
+
+#: Backoff ceiling for a breaker that keeps reopening.
+DEFAULT_BREAKER_MAX_SECONDS = 30.0
+
+#: A backend death within this many seconds of its (re)start counts as
+#: *rapid* — the crash-loop signal the breaker accumulates.  Surviving
+#: past it closes a half-open breaker and resets the failure streak.
+DEFAULT_RAPID_FAILURE_SECONDS = 5.0
+
+#: Breaker states (per backend).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
 
 #: The backend's startup line the spawner scrapes the bound port from
 #: (backends run ``--port 0``; only the kernel knows the port).
@@ -129,6 +158,22 @@ class BackendProcess:
         #: Times the process has been (re)started beyond the first.
         self.restarts = -1
         self.health_failures = 0
+        #: Monotonic time of the last (re)start attempt — the breaker's
+        #: rapid-failure clock.
+        self.started_at = 0.0
+        #: Circuit-breaker state: ``closed`` (normal supervision),
+        #: ``open`` (respawns suspended until :attr:`retry_at`), or
+        #: ``half_open`` (one probe respawn is being judged).
+        self.breaker_state = BREAKER_CLOSED
+        #: Consecutive rapid failures (deaths within the rapid window).
+        self.failure_streak = 0
+        #: Times the breaker has opened over this backend's lifetime.
+        self.breaker_opens = 0
+        #: Consecutive opens without an intervening close — the backoff
+        #: exponent.
+        self.open_streak = 0
+        #: Monotonic time an open breaker allows its half-open probe.
+        self.retry_at = 0.0
         self._stderr_task: asyncio.Task | None = None
 
     @property
@@ -144,6 +189,7 @@ class BackendProcess:
         (backends bind ``--port 0``)."""
         self.host = self.port = None
         self.health_failures = 0
+        self.started_at = time.monotonic()
         self.process = await asyncio.create_subprocess_exec(
             *self.command,
             env=self.env,
@@ -177,7 +223,11 @@ class BackendProcess:
 
     async def _drain_stderr(self) -> None:
         try:
-            while await self.process.stderr.readline():
+            # An unbounded read is the point here: the task exists to
+            # drain the pipe for the process' whole lifetime and ends
+            # at EOF when the process exits (or via cancellation in
+            # ``stop``); a timeout would only make it spin.
+            while await self.process.stderr.readline():  # bdslint: disable=RES004 -- lifetime-bound drain task, terminated by EOF or stop()'s cancel
                 pass
         except (OSError, ValueError):  # pipe torn down under us
             pass
@@ -222,12 +272,24 @@ class ShardDispatcher(AsyncHttpServer):
         health_interval: float = DEFAULT_HEALTH_INTERVAL,
         backend_args: "tuple[str, ...] | list[str]" = (),
         vnodes: int = DEFAULT_VNODES,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_base_seconds: float = DEFAULT_BREAKER_BASE_SECONDS,
+        breaker_max_seconds: float = DEFAULT_BREAKER_MAX_SECONDS,
+        rapid_failure_seconds: float = DEFAULT_RAPID_FAILURE_SECONDS,
     ) -> None:
         """``journal_dir`` enables per-backend journals
         (``backend-<i>.journal``) so respawned backends replay their
         jobs; ``backend_args`` appends raw extra CLI flags to every
         backend's command line (the test seam for small event caps and
-        the like)."""
+        the like); the ``breaker_*``/``rapid_failure_seconds`` knobs
+        tune the per-backend respawn circuit breaker (see the module
+        docstring)."""
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_base_seconds <= 0 or breaker_max_seconds <= 0:
+            raise ValueError("breaker backoff seconds must be > 0")
+        if rapid_failure_seconds <= 0:
+            raise ValueError("rapid_failure_seconds must be > 0")
         super().__init__(
             host=host, port=port, idle_timeout=idle_timeout, auth_token=auth_token
         )
@@ -238,6 +300,10 @@ class ShardDispatcher(AsyncHttpServer):
         self._max_pending = max_pending
         self._backend_args = tuple(backend_args)
         self._health_interval = health_interval
+        self._breaker_threshold = breaker_threshold
+        self._breaker_base = breaker_base_seconds
+        self._breaker_max = breaker_max_seconds
+        self._rapid_window = rapid_failure_seconds
         env = self._backend_env()
         self.backends = [
             BackendProcess(index, self._backend_command(index), env)
@@ -323,15 +389,35 @@ class ShardDispatcher(AsyncHttpServer):
 
     async def _supervise(self) -> None:
         """Respawn exited backends; kill-and-respawn unresponsive ones
-        after :data:`HEALTH_FAILURE_LIMIT` failed probes."""
+        after :data:`HEALTH_FAILURE_LIMIT` failed probes.
+
+        Respawning runs behind each backend's circuit breaker: rapid
+        deaths (within the rapid-failure window of the last start)
+        accumulate a streak, the streak opens the breaker, and an open
+        breaker suspends respawns for an exponentially growing backoff
+        before one half-open probe is allowed.  Only a probe that
+        survives the rapid window closes the breaker.
+        """
         while True:
             await asyncio.sleep(self._health_interval)
             for backend in self.backends:
+                now = time.monotonic()
+                if backend.breaker_state == BREAKER_OPEN:
+                    if now < backend.retry_at:
+                        continue  # still backing off
+                    backend.breaker_state = BREAKER_HALF_OPEN
+                    if not await self._respawn(backend):
+                        self._trip_breaker(backend, time.monotonic())
+                    continue
                 if (
                     backend.process is not None
                     and backend.process.returncode is not None
                 ):
-                    await self._respawn(backend)
+                    self._note_failure(backend, now)
+                    if backend.breaker_state != BREAKER_OPEN and not (
+                        await self._respawn(backend)
+                    ):
+                        self._trip_breaker(backend, time.monotonic())
                     continue
                 if not backend.alive:
                     continue
@@ -344,20 +430,54 @@ class ShardDispatcher(AsyncHttpServer):
                     healthy = False
                 if healthy:
                     backend.health_failures = 0
+                    if now - backend.started_at >= self._rapid_window:
+                        self._close_breaker(backend)
                     continue
                 backend.health_failures += 1
                 if backend.health_failures >= HEALTH_FAILURE_LIMIT:
                     await backend.stop(grace=0.5)
-                    await self._respawn(backend)
+                    self._note_failure(backend, now)
+                    if backend.breaker_state != BREAKER_OPEN and not (
+                        await self._respawn(backend)
+                    ):
+                        self._trip_breaker(backend, time.monotonic())
 
-    async def _respawn(self, backend: BackendProcess) -> None:
+    def _note_failure(self, backend: BackendProcess, now: float) -> None:
+        """Record one backend death; open the breaker once the rapid
+        streak reaches the threshold."""
+        rapid = now - backend.started_at < self._rapid_window
+        backend.failure_streak = backend.failure_streak + 1 if rapid else 1
+        if backend.failure_streak >= self._breaker_threshold:
+            self._trip_breaker(backend, now)
+
+    def _trip_breaker(self, backend: BackendProcess, now: float) -> None:
+        """Open (or re-open) a backend's breaker, doubling the backoff
+        per consecutive open up to the ceiling."""
+        backoff = min(
+            self._breaker_base * (2.0**backend.open_streak), self._breaker_max
+        )
+        backend.breaker_state = BREAKER_OPEN
+        backend.breaker_opens += 1
+        backend.open_streak += 1
+        backend.retry_at = now + backoff
+
+    def _close_breaker(self, backend: BackendProcess) -> None:
+        """A backend survived the rapid window: full reset."""
+        backend.breaker_state = BREAKER_CLOSED
+        backend.failure_streak = 0
+        backend.open_streak = 0
+
+    async def _respawn(self, backend: BackendProcess) -> bool:
+        """One respawn attempt; ``False`` means the process never even
+        reached its listening line (still dead — the caller decides
+        whether the breaker should take over).  While a backend is
+        down its jobs answer 503 + Retry-After."""
         self.respawns += 1
         try:
             await backend.start()
         except (RuntimeError, asyncio.TimeoutError, OSError):
-            # Still dead; the next sweep tries again.  Its jobs answer
-            # 503 + Retry-After in the meantime.
-            pass
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Backend HTTP client (stdlib streams; one request per connection)
@@ -686,13 +806,27 @@ class ShardDispatcher(AsyncHttpServer):
         shards: list[dict] = []
         cache = {"hits": 0, "misses": 0, "entries": 0}
         jobs_total: dict[str, int] = {}
+        counters_total: dict[str, int] = {}
+        breaker_states: dict[str, int] = {
+            BREAKER_CLOSED: 0,
+            BREAKER_OPEN: 0,
+            BREAKER_HALF_OPEN: 0,
+        }
+        breaker_opens = 0
         for shard, backend in enumerate(self.backends):
+            breaker_states[backend.breaker_state] += 1
+            breaker_opens += backend.breaker_opens
             entry: dict = {
                 "shard": shard,
                 "alive": backend.alive,
                 "port": backend.port,
                 "restarts": max(0, backend.restarts),
                 "routed": self.routed[shard],
+                "breaker": {
+                    "state": backend.breaker_state,
+                    "failure_streak": backend.failure_streak,
+                    "opens": backend.breaker_opens,
+                },
                 "metrics": None,
             }
             if backend.alive:
@@ -711,6 +845,11 @@ class ShardDispatcher(AsyncHttpServer):
                     cache[counter] += int(shard_cache.get(counter, 0))
                 for state, count in (metrics.get("jobs") or {}).items():
                     jobs_total[state] = jobs_total.get(state, 0) + int(count)
+                # Named monotonic counters (retries, timeouts, worker
+                # deaths, quarantines) merge by plain addition — that is
+                # the contract ServiceMetrics.counters() keeps.
+                for name, count in (metrics.get("counters") or {}).items():
+                    counters_total[name] = counters_total.get(name, 0) + int(count)
             shards.append(entry)
         lookups = cache["hits"] + cache["misses"]
         cache["hit_rate"] = (cache["hits"] / lookups) if lookups else 0.0
@@ -723,6 +862,8 @@ class ShardDispatcher(AsyncHttpServer):
                     "respawns": self.respawns,
                     "jobs": jobs_total,
                     "result_cache": cache,
+                    "counters": dict(sorted(counters_total.items())),
+                    "breakers": {"states": breaker_states, "opens": breaker_opens},
                     "shards": shards,
                 }
             ),
@@ -746,16 +887,20 @@ class ShardDispatcher(AsyncHttpServer):
         try:
             if status != 200:
                 length = resp_headers.get("content-length")
-                payload = await (
-                    reader.readexactly(int(length))
-                    if length is not None and length.isdigit()
-                    else reader.read()
-                )
+                if length is not None and length.isdigit():
+                    payload = await asyncio.wait_for(
+                        reader.readexactly(int(length)), 60.0
+                    )
+                else:  # Connection: close framing — read to EOF
+                    payload = await asyncio.wait_for(reader.read(), 60.0)
                 self._forward_json(writer, status, resp_headers, payload, shard, False)
                 return
             writer.write(self._head(200, "application/x-ndjson", None))
             while True:
-                line = await reader.readline()
+                # The event stream intentionally follows the job for as
+                # long as it runs — there is no honest upper bound, and
+                # a dead backend closes the socket (EOF) anyway.
+                line = await reader.readline()  # bdslint: disable=RES004 -- unbounded by design: stream ends at backend EOF, which process death guarantees
                 if not line:
                     return
                 stripped = line.strip()

@@ -133,6 +133,7 @@ def job_payload(job: Job) -> dict[str, Any]:
         "workers": job.request.workers,
         "reorder": job.request.reorder,
         "cancel_requested": job.cancel_requested(),
+        "attempts": job.attempts,
         "events": job.total_events,
         "events_dropped": job.events_dropped,
         "error": job.error,

@@ -317,6 +317,91 @@ def test_res003_allows_with_try_and_acquire_then_try():
 
 
 # ---------------------------------------------------------------------------
+# RES004 — awaited stream read without a wait_for bound
+# ---------------------------------------------------------------------------
+
+RES004_POSITIVE = [
+    """
+    async def handle(reader):
+        line = await reader.readline()
+        return line
+    """,
+    """
+    async def slurp(reader, length):
+        return await reader.readexactly(length)
+    """,
+    """
+    async def drain(process):
+        while await process.stderr.readline():
+            pass
+    """,
+    """
+    async def body(reader):
+        data = await reader.read(1024)
+        return data
+    """,
+]
+
+RES004_NEGATIVE = [
+    # wait_for-wrapped reads are bounded.
+    """
+    import asyncio
+    async def handle(reader, timeout):
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        return line
+    """,
+    """
+    import asyncio
+    async def slurp(reader, length):
+        return await asyncio.wait_for(reader.readexactly(length), 60.0)
+    """,
+    # Synchronous file reads never await anything.
+    """
+    def load(path):
+        with open(path, "rb") as stream:
+            return stream.read()
+    """,
+]
+
+
+@pytest.mark.parametrize("source", RES004_POSITIVE)
+def test_res004_flags_unbounded_awaited_reads(source):
+    assert "RES004" in rules_fired(source, module="repro.serve.server")
+
+
+@pytest.mark.parametrize("source", RES004_NEGATIVE)
+def test_res004_allows_bounded_and_sync_reads(source):
+    assert "RES004" not in rules_fired(source, module="repro.serve.server")
+
+
+def test_res004_scoped_to_the_serving_layer():
+    source = """
+    async def handle(reader):
+        return await reader.readline()
+    """
+    assert "RES004" not in rules_fired(source, module="repro.flows.batch")
+
+
+def test_res004_suppression_needs_justification():
+    justified = """
+    async def follow(reader):
+        while True:
+            line = await reader.readline()  # bdslint: disable=RES004 -- stream ends at peer EOF by design
+            if not line:
+                return
+    """
+    result_rules = rules_fired(justified, module="repro.serve.shard")
+    assert "RES004" not in result_rules
+    bare = """
+    async def follow(reader):
+        return await reader.readline()  # bdslint: disable=RES004
+    """
+    fired = rules_fired(bare, module="repro.serve.shard")
+    assert "RES004" in fired  # unjustified suppression is ignored...
+    assert "SUP001" in fired  # ...and is itself a finding
+
+
+# ---------------------------------------------------------------------------
 # ENG001 — subtable surgery without cache flush
 # ---------------------------------------------------------------------------
 

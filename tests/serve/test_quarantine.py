@@ -1,0 +1,401 @@
+"""Chaos tests: poison-job quarantine and the shard circuit breaker.
+
+The headline test stages the crash loop the quarantine exists for: a
+fault plan SIGKILLs the server every time one circuit is synthesized,
+and after ``--max-attempts`` starts the replay must park the job as
+``quarantined`` — terminal, inspectable, counted — instead of letting
+it kill the service forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import JobRequest, JobStore, SynthesisService
+from repro.serve.journal import JobJournal
+from repro.serve.shard import (
+    BREAKER_CLOSED,
+    BREAKER_OPEN,
+    ShardDispatcher,
+)
+
+from .client import http_json, poll_job
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_service(test, **kwargs):
+    service = SynthesisService(port=0, **kwargs)
+    host, port = await service.start()
+    try:
+        return await test(service, host, port)
+    finally:
+        await service.shutdown()
+
+
+def _journal_with_attempts(path: Path, attempts: int) -> str:
+    """Write a journal holding one non-terminal job started ``attempts``
+    times; returns the job id."""
+    journal = JobJournal(path, fsync=False)
+    journal.open()
+    store = JobStore(journal=journal)
+    job = store.create(JobRequest(circuits=("alu2",)), [])
+    if attempts > 1:
+        job.attempts = attempts
+        journal.record_attempt(job)
+    journal.close()
+    return job.id
+
+
+class TestReplayGate:
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            SynthesisService(port=0, max_attempts=0)
+
+    def test_below_threshold_replays_with_incremented_attempts(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        job_id = _journal_with_attempts(path, attempts=2)
+
+        async def scenario(service, host, port):
+            final = await poll_job(host, port, job_id)
+            assert final["status"] == "done"
+            # The replay re-enqueue is itself one more start.
+            assert final["attempts"] == 3
+
+        run(
+            _with_service(
+                scenario, concurrency=1, journal_path=path, max_attempts=3
+            )
+        )
+
+    def test_at_threshold_quarantines_without_running(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        job_id = _journal_with_attempts(path, attempts=3)
+
+        async def scenario(service, host, port):
+            status, payload = await http_json(
+                host, port, "GET", f"/jobs/{job_id}"
+            )
+            assert status == 200
+            assert payload["status"] == "quarantined"
+            assert payload["attempts"] == 3
+            assert "quarantined after 3 attempt(s)" in payload["error"]
+            status, metrics = await http_json(host, port, "GET", "/metrics")
+            assert metrics["counters"]["jobs_quarantined"] == 1
+
+        run(
+            _with_service(
+                scenario, concurrency=1, journal_path=path, max_attempts=3
+            )
+        )
+
+    def test_quarantine_is_terminal_across_restarts(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        job_id = _journal_with_attempts(path, attempts=3)
+
+        async def quarantined(service, host, port):
+            status, payload = await http_json(
+                host, port, "GET", f"/jobs/{job_id}"
+            )
+            assert payload["status"] == "quarantined"
+            assert payload["attempts"] == 3
+
+        run(
+            _with_service(
+                quarantined, concurrency=1, journal_path=path, max_attempts=3
+            )
+        )
+        # Second restart: the quarantine record replays as terminal
+        # state — the job is not re-counted, re-enqueued, or re-parked.
+        run(
+            _with_service(
+                quarantined, concurrency=1, journal_path=path, max_attempts=3
+            )
+        )
+
+
+#: Stall long enough for the HTTP 202 to flush, then kill the process:
+#: the poison job crashes the whole server on every run.
+_POISON_PLAN = json.dumps(
+    {
+        "seed": 7,
+        "faults": [
+            {"site": "batch.worker", "action": "stall", "match": "f51m:", "seconds": 0.5},
+            {"site": "batch.worker", "action": "kill", "match": "f51m:"},
+        ],
+    }
+)
+
+
+def _spawn_poisoned(journal: Path, wait_listen: bool):
+    """Start a ``bdsmaj serve --max-attempts 3`` subprocess whose fault
+    plan SIGKILLs it whenever f51m is synthesized."""
+    src_root = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(src_root)
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    env["BDSMAJ_AUTH_TOKEN"] = ""
+    env["BDSMAJ_FAULT_PLAN"] = _POISON_PLAN
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--port",
+            "0",
+            "--arena",
+            "off",
+            "--concurrency",
+            "1",
+            "--max-attempts",
+            "3",
+            "--journal",
+            str(journal),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE if wait_listen else subprocess.DEVNULL,
+    )
+    if not wait_listen:
+        return process, None
+    pattern = re.compile(r"listening on http://([0-9.]+):(\d+)")
+    while True:
+        line = process.stderr.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited with {process.wait()} before listening"
+            )
+        match = pattern.search(line.decode("utf-8", "replace"))
+        if match:
+            return process, int(match.group(2))
+
+
+class TestPoisonJobCrashLoop:
+    def test_poison_job_quarantined_after_exactly_max_attempts_starts(
+        self, tmp_path
+    ):
+        """Submit a job the fault plan turns poisonous.  Run 1 accepts
+        it and dies; restarts 2 and 3 replay, re-enqueue (attempts 2
+        and 3) and die again; restart 4 quarantines it instead of
+        running it — and stays up to serve other work."""
+        journal = tmp_path / "jobs.journal"
+        process, port = _spawn_poisoned(journal, wait_listen=True)
+        try:
+
+            async def submit():
+                status, job = await http_json(
+                    "127.0.0.1", port, "POST", "/jobs", {"circuits": ["f51m"]}
+                )
+                assert status == 202
+                return job["id"]
+
+            job_id = run(submit())
+            # The fault plan SIGKILLs the server as soon as it starts
+            # synthesizing (start 1 of max_attempts=3).
+            assert process.wait(timeout=120) == -signal.SIGKILL
+        finally:
+            process.kill()
+            process.wait()
+
+        # Starts 2 and 3: replay re-enqueues the job (journaling the
+        # incremented attempt count first) and the poison kills the
+        # server again each time.
+        for _ in range(2):
+            process, _ = _spawn_poisoned(journal, wait_listen=False)
+            try:
+                assert process.wait(timeout=120) == -signal.SIGKILL
+            finally:
+                process.kill()
+                process.wait()
+
+        # Start 4: the attempt budget is spent; the job is parked.
+        process, port = _spawn_poisoned(journal, wait_listen=True)
+        try:
+
+            async def after_quarantine():
+                status, payload = await http_json(
+                    "127.0.0.1", port, "GET", f"/jobs/{job_id}"
+                )
+                assert status == 200
+                assert payload["status"] == "quarantined"
+                assert payload["attempts"] == 3
+                assert "quarantined after 3 attempt(s)" in payload["error"]
+                status, metrics = await http_json(
+                    "127.0.0.1", port, "GET", "/metrics"
+                )
+                assert metrics["counters"]["jobs_quarantined"] == 1
+                # The service survives and still does real work (the
+                # plan is armed but alu2 never matches it).
+                status, job = await http_json(
+                    "127.0.0.1", port, "POST", "/jobs", {"circuits": ["alu2"]}
+                )
+                assert status == 202
+                final = await poll_job("127.0.0.1", port, job["id"])
+                assert final["status"] == "done"
+
+            run(after_quarantine())
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+
+def _dispatcher(**overrides) -> ShardDispatcher:
+    """An unstarted dispatcher: the breaker state machine is pure
+    bookkeeping, so it is unit-testable without spawning backends."""
+    kwargs = dict(
+        backends=1,
+        breaker_threshold=2,
+        breaker_base_seconds=0.4,
+        breaker_max_seconds=1.6,
+        rapid_failure_seconds=5.0,
+    )
+    kwargs.update(overrides)
+    return ShardDispatcher(**kwargs)
+
+
+class TestBreakerStateMachine:
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="breaker_threshold"):
+            _dispatcher(breaker_threshold=0)
+        with pytest.raises(ValueError, match="backoff seconds"):
+            _dispatcher(breaker_base_seconds=0.0)
+        with pytest.raises(ValueError, match="rapid_failure_seconds"):
+            _dispatcher(rapid_failure_seconds=0.0)
+
+    def test_rapid_streak_opens_the_breaker(self):
+        dispatcher = _dispatcher()
+        backend = dispatcher.backends[0]
+        backend.started_at = 100.0
+        dispatcher._note_failure(backend, 101.0)
+        assert backend.breaker_state == BREAKER_CLOSED
+        assert backend.failure_streak == 1
+        backend.started_at = 101.0  # respawned, dies rapidly again
+        dispatcher._note_failure(backend, 102.0)
+        assert backend.breaker_state == BREAKER_OPEN
+        assert backend.breaker_opens == 1
+        assert backend.retry_at == pytest.approx(102.0 + 0.4)
+
+    def test_slow_failures_reset_the_streak(self):
+        dispatcher = _dispatcher()
+        backend = dispatcher.backends[0]
+        backend.started_at = 100.0
+        dispatcher._note_failure(backend, 101.0)
+        backend.started_at = 101.0
+        # Died long after the rapid window: an ordinary crash, not a
+        # crash loop — the streak restarts at one.
+        dispatcher._note_failure(backend, 110.0)
+        assert backend.breaker_state == BREAKER_CLOSED
+        assert backend.failure_streak == 1
+
+    def test_reopens_double_the_backoff_up_to_the_ceiling(self):
+        dispatcher = _dispatcher()
+        backend = dispatcher.backends[0]
+        for expected in (0.4, 0.8, 1.6, 1.6):  # capped at the ceiling
+            dispatcher._trip_breaker(backend, 200.0)
+            assert backend.breaker_state == BREAKER_OPEN
+            assert backend.retry_at == pytest.approx(200.0 + expected)
+        assert backend.breaker_opens == 4
+
+    def test_close_resets_streaks_and_backoff(self):
+        dispatcher = _dispatcher()
+        backend = dispatcher.backends[0]
+        dispatcher._trip_breaker(backend, 200.0)
+        dispatcher._trip_breaker(backend, 201.0)
+        dispatcher._close_breaker(backend)
+        assert backend.breaker_state == BREAKER_CLOSED
+        assert backend.failure_streak == 0
+        assert backend.open_streak == 0
+        dispatcher._trip_breaker(backend, 300.0)
+        assert backend.retry_at == pytest.approx(300.0 + 0.4)  # base again
+
+
+class _FakeProcess:
+    def __init__(self, returncode):
+        self.returncode = returncode
+
+
+class TestBreakerSupervision:
+    def test_supervisor_walks_closed_open_half_open_and_back(self):
+        """Drive the real supervisor loop against a fake backend: a
+        crash-looping backend must open the breaker and back off, a
+        failing half-open probe must re-trip it, and a probe that
+        survives the rapid window must close it again."""
+
+        async def scenario():
+            dispatcher = _dispatcher(
+                breaker_threshold=2,
+                breaker_base_seconds=0.15,
+                breaker_max_seconds=10.0,
+                rapid_failure_seconds=0.25,
+                health_interval=0.05,
+            )
+            backend = dispatcher.backends[0]
+            respawn_ok = {"value": False}
+
+            async def fake_respawn(target):
+                dispatcher.respawns += 1
+                if not respawn_ok["value"]:
+                    return False
+                target.process = _FakeProcess(None)
+                target.host, target.port = "127.0.0.1", 1
+                target.health_failures = 0
+                target.started_at = time.monotonic()
+                return True
+
+            async def fake_request(target, method, path, timeout=2.0):
+                return 200, {}, b"{}"
+
+            dispatcher._respawn = fake_respawn
+            dispatcher._backend_request = fake_request
+            backend.process = _FakeProcess(returncode=1)  # born dead
+            backend.started_at = time.monotonic()
+
+            async def wait_for(predicate, timeout=10.0):
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    if predicate():
+                        return True
+                    await asyncio.sleep(0.02)
+                return False
+
+            supervisor = asyncio.ensure_future(dispatcher._supervise())
+            try:
+                # Rapid deaths with failing respawns: breaker opens.
+                assert await wait_for(
+                    lambda: backend.breaker_state == BREAKER_OPEN
+                )
+                # The half-open probe also fails: it re-trips with a
+                # doubled backoff instead of hammering the spawn path.
+                assert await wait_for(lambda: backend.breaker_opens >= 2)
+                assert backend.open_streak >= 2
+                # Let the probe succeed; surviving the rapid window
+                # closes the breaker and resets every streak.
+                respawn_ok["value"] = True
+                assert await wait_for(
+                    lambda: backend.breaker_state == BREAKER_CLOSED
+                )
+                assert backend.failure_streak == 0
+                assert backend.open_streak == 0
+            finally:
+                supervisor.cancel()
+                try:
+                    await supervisor
+                except asyncio.CancelledError:
+                    pass
+
+        run(scenario())

@@ -187,6 +187,15 @@ class TestEndToEnd:
             status, metrics = await http_json(host, port, "GET", "/metrics")
             assert metrics["respawns"] >= 1
             assert metrics["shards"][shard]["restarts"] >= 1
+            # One isolated kill is no crash loop: the breaker stays
+            # closed, but its state is observable per-shard and in the
+            # aggregated rollup.
+            breaker = metrics["shards"][shard]["breaker"]
+            assert breaker["state"] == "closed"
+            assert breaker["opens"] == 0
+            states = metrics["breakers"]["states"]
+            assert states["closed"] == len(dispatcher.backends)
+            assert metrics["breakers"]["opens"] == 0
 
         run(_with_dispatcher(scenario, journal_dir=tmp_path))
 
