@@ -240,7 +240,8 @@ def main(argv: list[str] | None = None) -> int:
         metavar="CIRCUITS",
         help="registry circuits snapshotted into the shared-memory BDD "
         "arena workers verify against: 'auto' (default small MCNC "
-        "set), 'off', or a comma-separated list",
+        "set), 'refresh' (default set, republished as jobs finish), "
+        "'off', or a comma-separated list",
     )
     serve.add_argument(
         "--cold-pools",
@@ -255,6 +256,14 @@ def main(argv: list[str] | None = None) -> int:
         help="append-only job journal; on restart finished jobs replay "
         "byte-identically (rehydrating the result cache) and "
         "interrupted jobs re-run under their original ids",
+    )
+    serve.add_argument(
+        "--journal-compact-bytes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="rewrite the journal once it grows past N bytes, keeping "
+        "only live records (default: 1 MiB)",
     )
     serve.add_argument(
         "--max-pending",
@@ -492,14 +501,21 @@ def main(argv: list[str] | None = None) -> int:
         else:
             result_cache_size = args.result_cache or None  # 0 = off
         arena_spec = args.arena.strip().lower()
+        arena_refresh = False
         if arena_spec == "off":
             arena_circuits = None
         elif arena_spec == "auto":
             arena_circuits = DEFAULT_ARENA_CIRCUITS
+        elif arena_spec == "refresh":
+            arena_circuits = DEFAULT_ARENA_CIRCUITS
+            arena_refresh = True
         else:
             arena_circuits = tuple(
                 name.strip() for name in args.arena.split(",") if name.strip()
             )
+        extra_serve_kwargs = {}
+        if args.journal_compact_bytes is not None:
+            extra_serve_kwargs["journal_compact_bytes"] = args.journal_compact_bytes
         return run_server(
             host=args.host,
             port=args.port,
@@ -511,10 +527,12 @@ def main(argv: list[str] | None = None) -> int:
             result_cache_size=result_cache_size,
             warm_pools=not args.cold_pools,
             arena_circuits=arena_circuits,
+            arena_refresh=arena_refresh,
             journal_path=args.journal,
             max_pending=args.max_pending,
             auth_token=args.auth_token,
             max_attempts=args.max_attempts,
+            **extra_serve_kwargs,
         )
     elif args.command == "shard":
         from ..serve import DEFAULT_IDLE_TIMEOUT, run_shard

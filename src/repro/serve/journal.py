@@ -181,6 +181,25 @@ def _report_payload(report: BatchReport) -> dict[str, Any]:
     }
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Flush ``directory``'s entry table to stable storage.
+
+    ``os.fsync`` on a file makes its *contents* durable, but a freshly
+    created name or an ``os.replace`` lives in the parent directory's
+    entries — on ext4/XFS those need their own fsync or a crash can
+    resurrect the replaced file (or lose the new one).  Best effort:
+    platforms that refuse ``open(dir)`` (Windows) skip it.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class JobJournal:
     """Append-only NDJSON journal the :class:`~repro.serve.JobStore`
     writes through.  See the module docstring for the record framing,
@@ -222,7 +241,8 @@ class JobJournal:
         result = ReplayResult()
         good_end = 0
         raw_records: list[dict[str, Any]] = []
-        if self.path.exists():
+        existed = self.path.exists()
+        if existed:
             with open(self.path, "rb") as stream:
                 data = stream.read()
             offset = 0
@@ -251,6 +271,10 @@ class JobJournal:
         # Truncate the torn tail *before* appending: new records written
         # after a partial line would be unreadable on the next replay.
         self._file = open(self.path, "ab")
+        if not existed and self._fsync:
+            # The first append's fsync makes the *contents* durable,
+            # but the new name itself lives in the parent directory.
+            _fsync_dir(self.path.parent)
         if result.truncated_bytes:
             self._file.truncate(good_end)
         self._bytes = good_end
@@ -503,8 +527,14 @@ class JobJournal:
                     )
             sink.flush()
             os.fsync(sink.fileno())
+        # The window the crash test targets: the temp file is complete
+        # and durable, but the rename has not happened yet — a crash
+        # here must leave the *old* journal fully replayable.
+        inject_fault("journal.compact", str(self.compactions))
         self._file.close()
         os.replace(temp_path, self.path)
+        if self._fsync:
+            _fsync_dir(self.path.parent)
         self._file = open(self.path, "ab")
         self._bytes = self.path.stat().st_size
         self._last_compact_bytes = self._bytes

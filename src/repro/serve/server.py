@@ -43,9 +43,11 @@ from __future__ import annotations
 
 import asyncio
 import hmac
+import math
 import os
 import signal
 import sys
+import threading
 import time
 from http import HTTPStatus
 from typing import Callable
@@ -53,7 +55,13 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..api import InputItem, InputSourceError, resolve_source
 from ..bdd import BDD
-from ..bdd.arena import BddArena, attach_worker_arena
+from ..bdd.arena import (
+    DEFAULT_STORE_CAPACITY,
+    BddArena,
+    SharedNodeStore,
+    WorkerArenaSpec,
+    attach_worker_arena,
+)
 from ..benchgen import build_benchmark
 from ..flows.batch import WarmPoolManager
 from ..network import global_bdds
@@ -375,6 +383,8 @@ class SynthesisService(AsyncHttpServer):
         warm_pools: bool = True,
         arena_circuits: "tuple[str, ...] | list[str] | None" = None,
         arena_max_nodes: int = DEFAULT_ARENA_MAX_NODES,
+        arena_refresh: bool = False,
+        store_capacity: int = DEFAULT_STORE_CAPACITY,
         journal_path: "str | os.PathLike | None" = None,
         journal_fsync: bool = True,
         journal_compact_bytes: int = DEFAULT_COMPACT_BYTES,
@@ -388,7 +398,14 @@ class SynthesisService(AsyncHttpServer):
         ``arena_circuits`` names registry circuits to snapshot into a
         shared BDD arena at startup (``None`` — the default, and what
         the test suite uses — skips the snapshot; the CLI passes
-        :data:`DEFAULT_ARENA_CIRCUITS`); ``journal_path`` makes the job
+        :data:`DEFAULT_ARENA_CIRCUITS`); ``arena_refresh`` keeps the
+        snapshot *live* — each finished job's registry circuits that the
+        arena doesn't cover yet are built into the owner manager and a
+        new snapshot is published, so hot circuits stop being rebuilt at
+        all; ``store_capacity`` sizes the writable shared unique table
+        (:class:`~repro.bdd.arena.SharedNodeStore`) published alongside
+        the arena — workers build verify BDDs *into* it instead of each
+        rebuilding privately; ``journal_path`` makes the job
         store durable (append-only NDJSON, replayed on :meth:`start`);
         ``max_pending`` bounds the queued-job backlog (overflow answers
         429 with ``Retry-After``); ``auth_token`` requires ``Bearer``
@@ -433,8 +450,28 @@ class SynthesisService(AsyncHttpServer):
         self.last_replay: ReplayResult | None = None
         self._arena_circuits = tuple(arena_circuits or ())
         self._arena_max_nodes = arena_max_nodes
+        self._arena_refresh = arena_refresh
+        self._store_capacity = store_capacity
         self._arena: BddArena | None = None
         self._arena_info: dict | None = None
+        self._arena_store: SharedNodeStore | None = None
+        # Refresh machinery: the owner manager the snapshot grows in,
+        # the circuits it covers, snapshots superseded by a refresh
+        # (kept mapped until shutdown — executor threads mid-verify may
+        # still read them), and a lock serializing refresh builds.
+        self._arena_manager: BDD | None = None
+        #: Root edges in the *owner manager's* numbering — republish
+        #: must start from these (an arena's own root edges are
+        #: renumbered by export and mean nothing to the manager).
+        self._arena_roots: dict[str, int] = {}
+        self._arena_published: set[str] = set()
+        #: Circuits a refresh (or the startup build) failed on — never
+        #: retried: a BDD over the arena budget stays over budget, and
+        #: each doomed attempt costs a full build before it trips.
+        self._arena_skipped: set[str] = set()
+        self._retired_arenas: list[BddArena] = []
+        self._refresh_lock = threading.Lock()
+        self.arena_refreshes = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -587,20 +624,152 @@ class SynthesisService(AsyncHttpServer):
         except Exception:  # noqa: BLE001 - e.g. /dev/shm unavailable
             self._arena_info = {"circuits": [], "skipped": list(self._arena_circuits)}
             return
+        # The writable shared unique table rides along: seeded with the
+        # arena's variable order (so arena vars are a prefix of the
+        # store's global order and worker bindings line up), attached by
+        # every worker next to the read-only snapshot.  Best effort —
+        # a server without a store just verifies privately.
+        store: SharedNodeStore | None = None
+        try:
+            store = SharedNodeStore.create(
+                manager.var_names, capacity=self._store_capacity
+            )
+        except Exception:  # noqa: BLE001 - degraded mode, not an outage
+            store = None
         self._arena = arena
-        self._arena_info = {
-            "name": arena.name,
-            "nodes": arena.num_nodes,
-            "roots": len(arena.roots),
-            "circuits": published,
-            "skipped": skipped,
-        }
+        self._arena_store = store
+        self._arena_manager = manager if self._arena_refresh else None
+        self._arena_roots = roots
+        self._arena_published = set(published)
+        self._arena_skipped = set(skipped)
+        self._set_arena_info(published, skipped)
         # The service's own serial jobs verify through the same snapshot
-        # (installing the owner view directly — no second mapping)...
-        attach_worker_arena(arena)
-        # ...and every pool worker spawned from here on attaches by name.
+        # and store (installing the owner views directly — no second
+        # mapping)...
+        attach_worker_arena(WorkerArenaSpec(arena=arena, store=store))
+        # ...and every pool worker spawned from here on attaches by
+        # name/handle.
         if self.pool_manager is not None:
-            self.pool_manager.arena_name = arena.name
+            self.pool_manager.arena_name = WorkerArenaSpec(
+                arena=arena.name,
+                store=store.handle() if store is not None else None,
+            )
+
+    def _set_arena_info(self, published: "list[str]", skipped: "list[str]") -> None:
+        self._arena_info = {
+            "name": self._arena.name,
+            "nodes": self._arena.num_nodes,
+            "roots": len(self._arena.roots),
+            "circuits": sorted(published),
+            "skipped": skipped,
+            "mode": "refresh" if self._arena_refresh else "static",
+            "refreshes": self.arena_refreshes,
+        }
+
+    def _arena_metrics_info(self) -> "dict | None":
+        """The ``/metrics`` view of the arena: the static snapshot shape
+        plus the shared store's live hit/miss/contention counters."""
+        if self._arena_info is None:
+            return None
+        info = dict(self._arena_info)
+        if self._arena_store is not None:
+            info["store"] = self._arena_store.counters()
+        return info
+
+    def _watch_refresh(self, job: Job) -> None:
+        """Terminal hook (loop thread): a finished job's registry
+        circuits the snapshot doesn't cover yet trigger a rebuild on a
+        daemon thread (not the default executor — a build in flight at
+        shutdown must not block interpreter exit)."""
+        if job.state != DONE or self._arena_manager is None:
+            return
+        fresh = sorted(
+            {
+                item.name
+                for item in job.items
+                if item.kind == "registry"
+                and item.name not in self._arena_published
+                and item.name not in self._arena_skipped
+            }
+        )
+        if not fresh:
+            return
+        # Optimistically claim before the build: a second job finishing
+        # with the same circuits must not queue a duplicate rebuild.
+        self._arena_published.update(fresh)
+        threading.Thread(
+            target=self._refresh_arena,
+            args=(fresh,),
+            name="arena-refresh",
+            daemon=True,
+        ).start()
+
+    def _refresh_arena(self, names: "list[str]") -> None:
+        """Grow the owner manager by ``names`` and publish a new
+        snapshot (executor thread).  The superseded snapshot is retired,
+        not closed: threads mid-verify keep valid views until shutdown.
+        Never raises — a failed refresh leaves the old snapshot serving.
+        """
+        with self._refresh_lock:
+            manager = self._arena_manager
+            arena = self._arena
+            if manager is None or arena is None:
+                return
+            roots = dict(self._arena_roots)
+            built = []
+            for name in names:
+                try:
+                    network = build_benchmark(name)
+                    _, edges = global_bdds(
+                        network, mgr=manager, max_nodes=self._arena_max_nodes
+                    )
+                except Exception:  # noqa: BLE001 - skip for good, keep serving
+                    # Shed the failed build's scratch — those nodes stay
+                    # live until collected and would push every later
+                    # refresh over budget before it allocates a thing.
+                    manager.gc(roots.values())
+                    self._arena_published.discard(name)
+                    self._arena_skipped.add(name)
+                    continue
+                built.append(name)
+                for output, edge in edges.items():
+                    roots[f"{name}/{output}"] = edge
+            if not built:
+                if self._arena_info is not None:
+                    self._set_arena_info(
+                        sorted(self._arena_published), sorted(self._arena_skipped)
+                    )
+                return
+            try:
+                fresh = BddArena.publish(manager, roots)
+            except Exception:  # noqa: BLE001 - e.g. /dev/shm exhausted
+                self._arena_published.difference_update(built)
+                return
+            self._retired_arenas.append(arena)
+            self._arena = fresh
+            self._arena_roots = roots
+            self.arena_refreshes += 1
+            self._set_arena_info(
+                sorted(self._arena_published), sorted(self._arena_skipped)
+            )
+            store = self._arena_store
+            # Swap without closing the retired view (see the
+            # close_previous contract): in-flight serial verifies on
+            # the old snapshot finish safely, new ones bind the fresh
+            # one.
+            attach_worker_arena(
+                WorkerArenaSpec(arena=fresh, store=store), close_previous=False
+            )
+            if self.pool_manager is not None:
+                self.pool_manager.arena_name = WorkerArenaSpec(
+                    arena=fresh.name,
+                    store=store.handle() if store is not None else None,
+                )
+                # Parked pools are still attached to the superseded
+                # snapshot; retire them so the next acquire spawns
+                # against the fresh one (busy pools are caught by the
+                # generation stamp at release time).
+                self.pool_manager.recycle_idle()
 
     async def shutdown(self) -> None:
         """Stop accepting, cancel every live job, reap every worker."""
@@ -618,9 +787,18 @@ class SynthesisService(AsyncHttpServer):
                 None, self.pool_manager.drain
             )
         if self._arena is not None:
-            attach_worker_arena(None)  # closes the installed owner view
+            attach_worker_arena(None)  # closes the installed owner views
             self._arena.unlink()
             self._arena = None
+        for retired in self._retired_arenas:
+            # Superseded by refreshes; kept mapped until now so threads
+            # mid-verify never read a released view.
+            retired.unlink()
+        self._retired_arenas.clear()
+        if self._arena_store is not None:
+            self._arena_store.unlink()
+            self._arena_store = None
+        self._arena_manager = None
         if self.journal is not None:
             self.journal.close()
         await self._close_listener()
@@ -669,8 +847,23 @@ class SynthesisService(AsyncHttpServer):
         self._check_backpressure()
         job = self.store.create(request, items)
         job.cache_key = key
+        self._chain_refresh_hook(job)
         self.queue.submit(job)
         return job
+
+    def _chain_refresh_hook(self, job: Job) -> None:
+        """In ``--arena refresh`` mode, watch the job's terminal
+        transition (after any journaling hook the store installed)."""
+        if not self._arena_refresh:
+            return
+        previous = job.on_terminal
+
+        def hook(finished: Job) -> None:
+            if previous is not None:
+                previous(finished)
+            self._watch_refresh(finished)
+
+        job.on_terminal = hook
 
     def _check_backpressure(self) -> None:
         """Refuse new queue entries past ``max_pending`` with a 429 and
@@ -693,7 +886,7 @@ class SynthesisService(AsyncHttpServer):
         run = self.metrics.stage_summaries().get("run")
         mean = float(run["mean_seconds"]) if run else 1.0
         estimate = mean * max(1, pending) / max(1, self.queue.concurrency)
-        return max(1, min(300, int(estimate) + 1))
+        return max(1, min(300, math.ceil(estimate)))
 
     def _resolve_items_keyed(self, request: JobRequest) -> tuple[list, str | None]:
         """Resolve circuit specs and (when caching is on) the
@@ -770,7 +963,7 @@ class SynthesisService(AsyncHttpServer):
                             if self.pool_manager is not None
                             else None
                         ),
-                        arena_info=self._arena_info,
+                        arena_info=self._arena_metrics_info(),
                         journal_stats=(
                             self.journal.stats()
                             if self.journal is not None
@@ -905,7 +1098,9 @@ async def _serve_until_stopped(
     result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
     warm_pools: bool = True,
     arena_circuits: "tuple[str, ...] | list[str] | None" = DEFAULT_ARENA_CIRCUITS,
+    arena_refresh: bool = False,
     journal_path: "str | os.PathLike | None" = None,
+    journal_compact_bytes: int = DEFAULT_COMPACT_BYTES,
     max_pending: int | None = None,
     auth_token: str | None = None,
     max_attempts: int = 3,
@@ -920,7 +1115,9 @@ async def _serve_until_stopped(
         result_cache_size=result_cache_size,
         warm_pools=warm_pools,
         arena_circuits=arena_circuits,
+        arena_refresh=arena_refresh,
         journal_path=journal_path,
+        journal_compact_bytes=journal_compact_bytes,
         max_pending=max_pending,
         auth_token=auth_token,
         max_attempts=max_attempts,
@@ -972,7 +1169,9 @@ def run_server(
     result_cache_size: int | None = DEFAULT_RESULT_CACHE_SIZE,
     warm_pools: bool = True,
     arena_circuits: "tuple[str, ...] | list[str] | None" = DEFAULT_ARENA_CIRCUITS,
+    arena_refresh: bool = False,
     journal_path: "str | os.PathLike | None" = None,
+    journal_compact_bytes: int = DEFAULT_COMPACT_BYTES,
     max_pending: int | None = None,
     auth_token: str | None = None,
     max_attempts: int = 3,
@@ -998,7 +1197,9 @@ def run_server(
             result_cache_size=result_cache_size,
             warm_pools=warm_pools,
             arena_circuits=arena_circuits,
+            arena_refresh=arena_refresh,
             journal_path=journal_path,
+            journal_compact_bytes=journal_compact_bytes,
             max_pending=max_pending,
             auth_token=auth_token,
             max_attempts=max_attempts,

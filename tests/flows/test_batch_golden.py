@@ -20,10 +20,33 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.bdd import BDD, BddArena, SharedNodeStore, WorkerArenaSpec
+from repro.bdd.arena import attach_worker_arena
+from repro.benchgen import build_benchmark
 from repro.benchgen.registry import benchmark_keys
 from repro.flows import BatchConfig, WarmPoolManager, run_batch
+from repro.network import global_bdds
 
 GOLDEN = Path(__file__).with_name("golden_batch_mcnc.json")
+
+#: The arena snapshot used by the shared-store goldens: the small MCNC
+#: circuits whose global BDDs build quickly (the serve layer's default).
+_ARENA_CIRCUITS = ("alu2", "f51m", "misex3", "vda")
+
+
+def _publish_arena_and_store() -> tuple[BddArena, SharedNodeStore]:
+    """An arena over :data:`_ARENA_CIRCUITS` plus a shared store seeded
+    with the arena's variable order — the pair the serve layer installs."""
+    manager = BDD([])
+    roots: dict[str, int] = {}
+    for name in _ARENA_CIRCUITS:
+        network = build_benchmark(name)
+        manager, edges = global_bdds(network, mgr=manager, max_nodes=500_000)
+        for output, edge in edges.items():
+            roots[f"{name}/{output}"] = edge
+    arena = BddArena.publish(manager, roots)
+    store = SharedNodeStore.create(manager.var_names)
+    return arena, store
 
 
 def test_mcnc_batch_report_is_byte_identical_to_golden():
@@ -43,6 +66,56 @@ def test_warm_pool_mcnc_batch_matches_golden():
     finally:
         manager.drain()
     assert report.to_json() == GOLDEN.read_text()
+
+
+def test_shared_store_verify_is_byte_identical_to_private_verify():
+    """Serial verified run, store off vs store on: the writable shared
+    unique table only accelerates the boolean ``verified`` answer —
+    every node count, decomposition step and op-cache counter in the
+    report must stay byte-identical.  Synthesis always runs on private
+    managers; the store hosts only the verify cones."""
+    config = BatchConfig(verify=True)
+    private = run_batch(benchmark_keys("mcnc"), config).to_json()
+    arena, store = _publish_arena_and_store()
+    try:
+        attach_worker_arena(WorkerArenaSpec(arena=arena, store=store))
+        try:
+            shared = run_batch(benchmark_keys("mcnc"), config).to_json()
+            # The store really was exercised: verify rebuilt cones into
+            # it (read before detaching — that closes the owner view).
+            counters = store.counters()
+        finally:
+            attach_worker_arena(None)
+        assert shared == private
+        assert counters["nodes"] > 1
+        assert counters["misses"] > 0
+    finally:
+        arena.unlink()
+        store.unlink()
+
+
+def test_shared_store_warm_pool_verify_matches_serial_bytes():
+    """Four pool workers sharing one writable unique table produce the
+    same verified-report bytes as the serial private run — cross-worker
+    find-or-create changes who allocates a node, never what any report
+    says."""
+    private = run_batch(benchmark_keys("mcnc"), BatchConfig(verify=True)).to_json()
+    arena, store = _publish_arena_and_store()
+    manager = WarmPoolManager(
+        arena_name=WorkerArenaSpec(arena=arena.name, store=store.handle())
+    )
+    try:
+        report = run_batch(
+            benchmark_keys("mcnc"),
+            BatchConfig(verify=True, workers=4),
+            pool=manager,
+        )
+        assert report.to_json() == private
+        assert store.count > 1
+    finally:
+        manager.drain()
+        arena.unlink()
+        store.unlink()
 
 
 def test_golden_covers_all_ten_mcnc_circuits_cleanly():

@@ -29,7 +29,7 @@ from repro.serve.shard import (
     ShardDispatcher,
 )
 
-from .client import http_json, poll_job
+from .client import http_json, http_request, poll_job
 
 
 def run(coro):
@@ -252,6 +252,144 @@ class TestPoisonJobCrashLoop:
         finally:
             process.terminate()
             process.wait(timeout=30)
+
+
+#: Kill the server inside :meth:`JobJournal.compact`, in the window
+#: where the temp rewrite is durable but ``os.replace`` has not run —
+#: the old journal must still replay everything.
+_COMPACT_CRASH_PLAN = json.dumps(
+    {"seed": 7, "faults": [{"site": "journal.compact", "action": "kill"}]}
+)
+
+
+def _spawn_compacting(journal: Path, plan: "str | None"):
+    """Start a serve subprocess with ``--journal-compact-bytes 1`` (the
+    first terminal record triggers compaction); ``plan`` arms the fault
+    plan, ``None`` runs clean.  Returns (process, port)."""
+    src_root = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(src_root)
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    env["BDSMAJ_AUTH_TOKEN"] = ""
+    env.pop("BDSMAJ_FAULT_PLAN", None)
+    if plan is not None:
+        env["BDSMAJ_FAULT_PLAN"] = plan
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--port",
+            "0",
+            "--arena",
+            "off",
+            "--concurrency",
+            "1",
+            "--journal",
+            str(journal),
+            "--journal-compact-bytes",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    pattern = re.compile(r"listening on http://([0-9.]+):(\d+)")
+    while True:
+        line = process.stderr.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited with {process.wait()} before listening"
+            )
+        match = pattern.search(line.decode("utf-8", "replace"))
+        if match:
+            return process, int(match.group(2))
+
+
+class TestCrashDuringCompaction:
+    def test_sigkill_between_temp_write_and_rename_replays_bytes(
+        self, tmp_path
+    ):
+        """SIGKILL the server *inside* compaction — after the temp
+        rewrite is fsync'd, before the rename.  The orphaned ``.compact``
+        temp must be ignored, the old journal must replay the finished
+        job, and its result bytes must match a clean run's exactly."""
+        journal = tmp_path / "jobs.journal"
+        process, port = _spawn_compacting(journal, _COMPACT_CRASH_PLAN)
+        try:
+
+            async def submit():
+                status, job = await http_json(
+                    "127.0.0.1", port, "POST", "/jobs", {"circuits": ["alu2"]}
+                )
+                assert status == 202
+                return job["id"]
+
+            job_id = run(submit())
+            # The terminal record lands (fsync'd), compaction starts,
+            # and the fault kills the process before the rename.
+            assert process.wait(timeout=120) == -signal.SIGKILL
+        finally:
+            process.kill()
+            process.wait()
+
+        # The crash signature: a completed temp rewrite next to the
+        # intact old journal.
+        assert journal.with_name(journal.name + ".compact").exists()
+        assert journal.stat().st_size > 0
+
+        # Restart clean: replay restores the finished job and the next
+        # compaction (same tiny threshold) completes normally.
+        process, port = _spawn_compacting(journal, None)
+        try:
+
+            async def after_crash():
+                status, payload = await http_json(
+                    "127.0.0.1", port, "GET", f"/jobs/{job_id}"
+                )
+                assert status == 200
+                assert payload["status"] == "done"
+                status, body = await http_request(
+                    "127.0.0.1", port, "GET", f"/jobs/{job_id}/result"
+                )
+                assert status == 200
+                status, metrics = await http_json(
+                    "127.0.0.1", port, "GET", "/metrics"
+                )
+                assert metrics["journal"]["replayed_jobs"] == 1
+                return body
+
+            replayed_bytes = run(after_crash())
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+        # Byte-identity: an uncrashed server answers the same submission
+        # with exactly the same result bytes.
+        reference_journal = tmp_path / "reference.journal"
+        process, port = _spawn_compacting(reference_journal, None)
+        try:
+
+            async def reference():
+                status, job = await http_json(
+                    "127.0.0.1", port, "POST", "/jobs", {"circuits": ["alu2"]}
+                )
+                assert status == 202
+                await poll_job("127.0.0.1", port, job["id"])
+                status, body = await http_request(
+                    "127.0.0.1", port, "GET", f"/jobs/{job['id']}/result"
+                )
+                assert status == 200
+                return body
+
+            reference_bytes = run(reference())
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+        assert replayed_bytes == reference_bytes
 
 
 def _dispatcher(**overrides) -> ShardDispatcher:
